@@ -1,0 +1,438 @@
+package flowtune_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	flowtune "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fastpass"
+	"repro/internal/num"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// The benchmarks below regenerate the paper's tables and figures (§6). Each
+// benchmark reports its headline quantities through b.ReportMetric so a
+// single `go test -bench=. -benchmem` run produces the numbers recorded in
+// EXPERIMENTS.md. Simulation-backed figures run shortened (but structurally
+// identical) configurations so the whole suite completes in minutes; the
+// full-scale sweeps are available through cmd/flowtune-bench.
+
+// ---------------------------------------------------------------------------
+// §6.1 table: multicore allocator scaling (E1)
+
+func BenchmarkTable1AllocatorScaling(b *testing.B) {
+	cases := experiments.DefaultScalingCases()
+	for _, c := range cases {
+		name := fmt.Sprintf("cores=%d/nodes=%d/flows=%d", c.Blocks*c.Blocks, c.Nodes, c.Flows)
+		b.Run(name, func(b *testing.B) {
+			topo, err := topology.NewTwoTier(topology.Config{
+				Racks:          c.Nodes / 48,
+				ServersPerRack: 48,
+				Spines:         16,
+				LinkCapacity:   40e9,
+				LinkDelay:      1.5e-6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pa, err := core.NewParallelAllocator(core.ParallelConfig{
+				Topology: topo, Blocks: c.Blocks, Gamma: 1, Normalize: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pa.Close()
+			rng := rand.New(rand.NewSource(1))
+			if err := pa.SetFlows(experiments.RandomFlows(topo.NumServers(), c.Flows, rng)); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				pa.Iterate()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pa.Iterate()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(topo.NumServers())*40e9/1e12, "Tbps-allocated")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §6.1: Fastpass comparison (E2)
+
+func BenchmarkFastpassTimeslot(b *testing.B) {
+	const nodes = 384
+	arb, err := fastpass.NewArbiter(nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3072; i++ {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		_ = arb.AddDemand(src, dst, 1<<20)
+	}
+	b.ResetTimer()
+	var admitted int64
+	for i := 0; i < b.N; i++ {
+		admitted += int64(len(arb.AllocateTimeslot()))
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(admitted)/float64(b.N), "packets/timeslot")
+	}
+}
+
+func BenchmarkFastpassVsFlowtunePerCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.MeasureFastpassComparison(384, 3072, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.FastpassTbpsPerCore, "fastpass-Tbps/core")
+		b.ReportMetric(cmp.FlowtuneTbpsPerCore, "flowtune-Tbps/core")
+		b.ReportMetric(cmp.ThroughputRatio, "throughput-ratio")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: convergence to a fair allocation (E3)
+
+func BenchmarkFig4Convergence(b *testing.B) {
+	for _, scheme := range transport.AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultConvergenceConfig(scheme)
+				cfg.StepInterval = 2e-3 // shortened churn interval
+				res, err := experiments.RunConvergence(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ConvergenceTime > 0 {
+					b.ReportMetric(res.ConvergenceTime*1e6, "convergence-us")
+				} else {
+					b.ReportMetric(cfg.StepInterval*1e6, "convergence-us(>churn-interval)")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5-7: allocator update traffic (E4-E6)
+
+func BenchmarkFig5UpdateTraffic(b *testing.B) {
+	for _, kind := range []workload.Kind{workload.Web, workload.Cache, workload.Hadoop} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunUpdateTraffic(experiments.UpdateTrafficConfig{
+					Workload: kind, Load: 0.8, Duration: 4e-3, Warmup: 1e-3, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.FromAllocatorFraction*100, "from-allocator-%capacity")
+				b.ReportMetric(res.ToAllocatorFraction*100, "to-allocator-%capacity")
+			}
+		})
+	}
+}
+
+func BenchmarkFig6Threshold(b *testing.B) {
+	for _, threshold := range []float64{0.02, 0.05} {
+		b.Run(fmt.Sprintf("threshold=%.2f", threshold), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := experiments.RunFig6(
+					[]float64{0.8}, []workload.Kind{workload.Web}, []float64{threshold}, 3e-3, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(points[0].Reduction, "%reduction-vs-0.01")
+			}
+		})
+	}
+}
+
+func BenchmarkFig7NetworkSize(b *testing.B) {
+	for _, servers := range []int{128, 512, 1024} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunUpdateTraffic(experiments.UpdateTrafficConfig{
+					Workload: workload.Web, Load: 0.6, Servers: servers,
+					Duration: 2e-3, Warmup: 0.5e-3, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.FromAllocatorFraction*100, "from-allocator-%capacity")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8-11: scheme comparison (E7-E10). One shared sweep per benchmark
+// iteration; each figure's benchmark reports its own metrics.
+
+// runComparisonBench executes the shortened comparison sweep once.
+func runComparisonBench(b *testing.B) *experiments.ComparisonResult {
+	b.Helper()
+	res, err := experiments.RunComparison(experiments.ComparisonConfig{
+		Loads:    []float64{0.6},
+		Workload: workload.Web,
+		Duration: 3e-3,
+		Warmup:   1e-3,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkFig8TailFCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runComparisonBench(b)
+		for _, p := range res.SpeedupOverFlowtune() {
+			if p.Bucket == "1 packet" {
+				b.ReportMetric(p.Speedup, p.Scheme.String()+"-p99-speedup-1pkt")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9QueueingDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runComparisonBench(b)
+		for _, run := range res.Runs {
+			b.ReportMetric(run.P99QueueDelay4Hop*1e6, run.Scheme.String()+"-p99-4hop-us")
+		}
+	}
+}
+
+func BenchmarkFig10Drops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runComparisonBench(b)
+		for _, run := range res.Runs {
+			b.ReportMetric(run.DroppedGbps, run.Scheme.String()+"-dropped-Gbps")
+		}
+	}
+}
+
+func BenchmarkFig11Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runComparisonBench(b)
+		var flowtuneScore float64
+		for _, run := range res.Runs {
+			if run.Scheme == transport.Flowtune {
+				flowtuneScore = run.MeanFairness
+			}
+		}
+		for _, run := range res.Runs {
+			if run.Scheme != transport.Flowtune {
+				b.ReportMetric(run.MeanFairness-flowtuneScore, run.Scheme.String()+"-fairness-vs-flowtune")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 12-13: normalization (E11-E12)
+
+func BenchmarkFig12OverAllocation(b *testing.B) {
+	for _, algo := range experiments.Fig12Algorithms() {
+		b.Run(algo, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunOverAllocation(algo, experiments.NormalizationConfig{
+					Load: 0.6, Duration: 2e-3, Warmup: 0.5e-3, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MeanOverGbps, "mean-over-Gbps")
+				b.ReportMetric(res.MaxOverGbps, "max-over-Gbps")
+			}
+		})
+	}
+}
+
+func BenchmarkFig13Normalization(b *testing.B) {
+	for _, algo := range []string{"NED", "Gradient"} {
+		b.Run(algo, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.RunNormalizationComparison(algo, experiments.NormalizationConfig{
+					Load: 0.6, Duration: 2e-3, Warmup: 0.5e-3, OptimumEvery: 25, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					b.ReportMetric(r.ThroughputFraction, r.Normalizer+"-fraction-of-optimal")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations and micro-benchmarks called out in DESIGN.md
+
+// BenchmarkNEDIteration measures a single sequential NED iteration over the
+// default simulation fabric with 5000 flows (the optimizer's hot loop).
+func BenchmarkNEDIteration(b *testing.B) {
+	topo, err := flowtune.NewTopology(flowtune.DefaultSimTopologyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	prob := &num.Problem{Capacities: topo.Capacities(), MaxFlowRate: topo.Config().LinkCapacity}
+	for i := 0; i < 5000; i++ {
+		src := rng.Intn(topo.NumServers())
+		dst := rng.Intn(topo.NumServers() - 1)
+		if dst >= src {
+			dst++
+		}
+		route, err := topo.Route(src, dst, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		links := make([]int32, len(route))
+		for j, l := range route {
+			links[j] = int32(l)
+		}
+		prob.Flows = append(prob.Flows, num.Flow{Route: links, Util: num.LogUtility{W: topo.Config().LinkCapacity}})
+	}
+	st := num.NewState(prob)
+	ned := &num.NED{Gamma: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ned.Step(prob, st)
+	}
+}
+
+// BenchmarkSolverComparison compares one iteration of each price-update
+// algorithm on the same problem (the §6.6 ablation).
+func BenchmarkSolverComparison(b *testing.B) {
+	topo, err := flowtune.NewTopology(flowtune.DefaultSimTopologyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() (*num.Problem, *num.State) {
+		rng := rand.New(rand.NewSource(1))
+		prob := &num.Problem{Capacities: topo.Capacities(), MaxFlowRate: topo.Config().LinkCapacity}
+		for i := 0; i < 2000; i++ {
+			src := rng.Intn(topo.NumServers())
+			dst := rng.Intn(topo.NumServers() - 1)
+			if dst >= src {
+				dst++
+			}
+			route, _ := topo.Route(src, dst, i)
+			links := make([]int32, len(route))
+			for j, l := range route {
+				links[j] = int32(l)
+			}
+			prob.Flows = append(prob.Flows, num.Flow{Route: links, Util: num.LogUtility{W: topo.Config().LinkCapacity}})
+		}
+		return prob, num.NewState(prob)
+	}
+	solvers := map[string]num.Solver{
+		"NED":         &num.NED{Gamma: 1},
+		"NED-RT":      &num.NED{Gamma: 1, RT: true},
+		"Gradient":    num.NewGradient(),
+		"FGM":         num.NewFGM(),
+		"Newton-like": num.NewNewtonLike(),
+	}
+	for name, solver := range solvers {
+		b.Run(name, func(b *testing.B) {
+			prob, st := build()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solver.Step(prob, st)
+			}
+		})
+	}
+}
+
+// BenchmarkPartitioningAblation compares the FlowBlock/LinkBlock parallel
+// iteration against the single-block (sequential) iteration on the same
+// fabric and flow set, the design choice §5 motivates.
+func BenchmarkPartitioningAblation(b *testing.B) {
+	for _, blocks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			topo, err := topology.NewTwoTier(topology.Config{
+				Racks: 32, ServersPerRack: 48, Spines: 16, LinkCapacity: 40e9, LinkDelay: 1.5e-6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pa, err := core.NewParallelAllocator(core.ParallelConfig{Topology: topo, Blocks: blocks, Gamma: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pa.Close()
+			rng := rand.New(rand.NewSource(1))
+			if err := pa.SetFlows(experiments.RandomFlows(topo.NumServers(), 12288, rng)); err != nil {
+				b.Fatal(err)
+			}
+			pa.Iterate()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pa.Iterate()
+			}
+		})
+	}
+}
+
+// BenchmarkAllocatorChurn measures flowlet start/end handling plus one
+// iteration, the allocator's per-event cost.
+func BenchmarkAllocatorChurn(b *testing.B) {
+	topo, err := flowtune.NewTopology(flowtune.DefaultSimTopologyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := flowtune.NewAllocator(flowtune.AllocatorConfig{Topology: topo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Steady-state population.
+	for i := 0; i < 2000; i++ {
+		_ = alloc.FlowletStart(flowtune.FlowID(i), i%144, (i+7)%144, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := flowtune.FlowID(10000 + i)
+		_ = alloc.FlowletStart(id, i%144, (i+11)%144, 1)
+		alloc.Iterate()
+		_ = alloc.FlowletEnd(id)
+	}
+}
+
+// BenchmarkPacketSimulator measures raw simulator throughput (events/s) with
+// a DCTCP incast, to document the substrate's capacity.
+func BenchmarkPacketSimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := transport.NewEngine(transport.EngineConfig{Scheme: transport.DCTCP, Horizon: 2e-3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 16; f++ {
+			if err := eng.AddFlowlet(workload.Flowlet{
+				ID: int64(f), Arrival: 0, Src: 16 + f, Dst: 0, SizeBytes: 200_000,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Run(2e-3)
+		b.ReportMetric(float64(eng.Sim().Processed()), "events")
+	}
+}

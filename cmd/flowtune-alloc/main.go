@@ -1,0 +1,40 @@
+// Command flowtune-alloc benchmarks the multicore NED allocator (§5/§6.1 of
+// the paper) on this machine: it builds a synthetic two-tier fabric, loads a
+// random flow set, and reports the time per allocator iteration for a chosen
+// number of blocks, nodes, and flows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowtune-alloc: ")
+
+	blocks := flag.Int("blocks", 2, "number of rack blocks (FlowBlocks = blocks^2); must be a power of two")
+	nodes := flag.Int("nodes", 384, "number of servers (multiple of 48)")
+	flows := flag.Int("flows", 3072, "number of concurrent flows")
+	iters := flag.Int("iters", 200, "measured iterations")
+	warmup := flag.Int("warmup", 20, "warmup iterations")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	row, err := experiments.MeasureScalingCase(experiments.ScalingCase{
+		Blocks: *blocks,
+		Nodes:  *nodes,
+		Flows:  *flows,
+	}, *warmup, *iters, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cores (FlowBlocks): %d\n", row.Cores)
+	fmt.Printf("nodes:              %d\n", row.Nodes)
+	fmt.Printf("flows:              %d\n", row.Flows)
+	fmt.Printf("time per iteration: %s\n", row.TimePerIteration)
+	fmt.Printf("scheduled fabric:   %.2f Tbit/s\n", row.AllocatedTbps)
+}

@@ -1,0 +1,184 @@
+// Command flowtune-bench regenerates the tables and figures of the Flowtune
+// paper's evaluation (§6). Each experiment is selected with -experiment; "all"
+// runs every one of them. The -quick flag shrinks durations and sweeps so the
+// full suite completes in a couple of minutes; omit it for the full-scale
+// runs recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowtune-bench: ")
+
+	experiment := flag.String("experiment", "all",
+		"experiment to run: table1, fastpass, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, or all")
+	quick := flag.Bool("quick", false, "run shortened versions of every experiment")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	names := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		names = []string{"table1", "fastpass", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	}
+	for _, name := range names {
+		if err := run(strings.TrimSpace(name), *quick, *seed); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// run executes one experiment and prints its rendering.
+func run(name string, quick bool, seed int64) error {
+	fmt.Printf("==== %s ====\n", name)
+	defer fmt.Println()
+	switch name {
+	case "table1":
+		cases := experiments.DefaultScalingCases()
+		warmup, iters := 20, 200
+		if quick {
+			cases = cases[:3]
+			warmup, iters = 5, 50
+		}
+		rows, err := experiments.ScalingTable(cases, warmup, iters, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScalingTable(rows))
+	case "fastpass":
+		flows := 3072
+		if quick {
+			flows = 1024
+		}
+		cmp, err := experiments.MeasureFastpassComparison(384, flows, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(cmp.Render())
+	case "fig4":
+		for _, scheme := range transport.AllSchemes() {
+			cfg := experiments.DefaultConvergenceConfig(scheme)
+			if quick {
+				cfg.StepInterval = 2e-3
+			}
+			res, err := experiments.RunConvergence(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render(cfg))
+		}
+	case "fig5":
+		duration := 10e-3
+		loads := []float64{0.2, 0.4, 0.6, 0.8}
+		if quick {
+			duration = 3e-3
+			loads = []float64{0.4, 0.8}
+		}
+		points, err := experiments.RunFig5(loads, nil, duration, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig5(points))
+	case "fig6":
+		duration := 8e-3
+		loads := []float64{0.2, 0.4, 0.6, 0.8}
+		if quick {
+			duration = 3e-3
+			loads = []float64{0.6}
+		}
+		points, err := experiments.RunFig6(loads, nil, nil, duration, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6(points))
+	case "fig7":
+		duration := 5e-3
+		sizes := []int{128, 256, 512, 1024, 2048}
+		loads := []float64{0.4, 0.6, 0.8}
+		if quick {
+			duration = 2e-3
+			sizes = []int{128, 256, 512}
+			loads = []float64{0.6}
+		}
+		points, err := experiments.RunFig7(sizes, loads, duration, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig7(points))
+	case "fig8", "fig9", "fig10", "fig11":
+		res, err := runComparison(quick, seed)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig8":
+			fmt.Print(experiments.RenderFig8(res.SpeedupOverFlowtune()))
+		case "fig9":
+			fmt.Print(res.RenderFig9())
+		case "fig10":
+			fmt.Print(res.RenderFig10())
+		case "fig11":
+			fmt.Print(res.RenderFig11())
+		}
+	case "fig12":
+		cfg := experiments.NormalizationConfig{Seed: seed}
+		loads := []float64{0.2, 0.4, 0.6, 0.8}
+		if quick {
+			cfg.Duration = 2e-3
+			loads = []float64{0.4, 0.8}
+		}
+		points, err := experiments.RunFig12(loads, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig12(points))
+	case "fig13":
+		cfg := experiments.NormalizationConfig{Seed: seed}
+		loads := []float64{0.2, 0.4, 0.6, 0.8}
+		if quick {
+			cfg.Duration = 2e-3
+			loads = []float64{0.6}
+		}
+		points, err := experiments.RunFig13(loads, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig13(points))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		os.Exit(2)
+	}
+	return nil
+}
+
+// comparisonCache avoids re-running the expensive scheme sweep when several
+// of fig8–fig11 are requested in the same invocation.
+var comparisonCache *experiments.ComparisonResult
+
+func runComparison(quick bool, seed int64) (*experiments.ComparisonResult, error) {
+	if comparisonCache != nil {
+		return comparisonCache, nil
+	}
+	cfg := experiments.ComparisonConfig{Workload: workload.Web, Seed: seed}
+	if quick {
+		cfg.Loads = []float64{0.6}
+		cfg.Duration = 4e-3
+		cfg.Warmup = 1e-3
+	}
+	res, err := experiments.RunComparison(cfg)
+	if err != nil {
+		return nil, err
+	}
+	comparisonCache = res
+	return res, nil
+}

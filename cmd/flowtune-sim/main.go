@@ -1,0 +1,125 @@
+// Command flowtune-sim runs a single packet-level simulation of one
+// congestion-control scheme over one workload and prints flow-completion-time
+// percentiles, drop statistics, and queueing delays — the raw ingredients of
+// Figures 8–11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowtune-sim: ")
+
+	schemeName := flag.String("scheme", "flowtune", "scheme: flowtune, dctcp, pfabric, sfqcodel, xcp, tcp")
+	kindName := flag.String("workload", "web", "workload: web, cache, hadoop")
+	load := flag.Float64("load", 0.6, "target server load in (0,1]")
+	duration := flag.Float64("duration", 10e-3, "measured simulation time in seconds")
+	warmup := flag.Float64("warmup", 2e-3, "warmup time in seconds")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topo, err := topology.NewTwoTier(topology.DefaultSimConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := *warmup + *duration
+	eng, err := transport.NewEngine(transport.EngineConfig{
+		Scheme:            scheme,
+		Topology:          topo,
+		QueueSamplePeriod: 100e-6,
+		Horizon:           horizon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Kind:               kind,
+		NumServers:         topo.NumServers(),
+		ServerLinkCapacity: topo.Config().LinkCapacity,
+		Load:               *load,
+		Seed:               *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flows := gen.GenerateUntil(horizon * 0.9)
+	if err := eng.AddFlowlets(flows); err != nil {
+		log.Fatal(err)
+	}
+	eng.Run(horizon)
+
+	fmt.Printf("scheme=%s workload=%s load=%.2f servers=%d flowlets=%d\n",
+		scheme, kind, *load, topo.NumServers(), len(flows))
+
+	var measured []metrics.FlowRecord
+	for _, r := range eng.Records() {
+		if r.Start >= *warmup {
+			measured = append(measured, r)
+		}
+	}
+	fmt.Printf("completion rate: %.1f%%\n", 100*metrics.CompletionRate(measured))
+	fmt.Printf("dropped: %.3f Gbit/s\n", float64(eng.DroppedBytes()*8)/horizon/1e9)
+	fmt.Println("normalized FCT by flow size bucket:")
+	for _, s := range metrics.SummarizeFCT(measured, workload.BucketLabel, workload.Buckets()) {
+		fmt.Printf("  %-18s n=%-7d mean=%-8.2f p50=%-8.2f p99=%-8.2f\n", s.Bucket, s.Count, s.Mean, s.P50, s.P99)
+	}
+	if scheme == transport.Flowtune && eng.Allocator() != nil {
+		stats := eng.Allocator().Stats()
+		fmt.Printf("allocator: %d iterations, %d rate updates sent, %d suppressed\n",
+			stats.Iterations, stats.RateUpdatesSent, stats.RateUpdatesSuppressed)
+		fmt.Printf("control traffic injected: %.3f MB\n", float64(eng.ControlBytes())/1e6)
+	}
+}
+
+// parseScheme maps a CLI name to a Scheme.
+func parseScheme(name string) (transport.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "flowtune":
+		return transport.Flowtune, nil
+	case "dctcp":
+		return transport.DCTCP, nil
+	case "pfabric":
+		return transport.PFabric, nil
+	case "sfqcodel":
+		return transport.SFQCoDel, nil
+	case "xcp":
+		return transport.XCP, nil
+	case "tcp":
+		return transport.TCP, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+// parseKind maps a CLI name to a workload kind.
+func parseKind(name string) (workload.Kind, error) {
+	switch strings.ToLower(name) {
+	case "web":
+		return workload.Web, nil
+	case "cache":
+		return workload.Cache, nil
+	case "hadoop":
+		return workload.Hadoop, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q", name)
+	}
+}

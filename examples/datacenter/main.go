@@ -1,0 +1,71 @@
+// Datacenter: simulate the Facebook Web workload on the paper's 144-server
+// fabric under Flowtune and DCTCP and compare tail flow completion times,
+// drops, and queueing — a miniature of Figures 8–10.
+//
+// Run with:
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flowtune "repro"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		load     = 0.6
+		warmup   = 1e-3
+		duration = 4e-3
+	)
+	horizon := warmup + duration
+
+	for _, scheme := range []flowtune.Scheme{flowtune.SchemeFlowtune, flowtune.SchemeDCTCP} {
+		topo, err := flowtune.NewTopology(flowtune.DefaultSimTopologyConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := flowtune.NewSimulation(flowtune.SimulationConfig{
+			Scheme:            scheme,
+			Topology:          topo,
+			QueueSamplePeriod: 100e-6,
+			Horizon:           horizon,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := flowtune.NewWorkloadGenerator(flowtune.WorkloadConfig{
+			Kind:               flowtune.Web,
+			NumServers:         topo.NumServers(),
+			ServerLinkCapacity: topo.Config().LinkCapacity,
+			Load:               load,
+			Seed:               42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flows := gen.GenerateUntil(horizon * 0.9)
+		if err := sim.AddFlowlets(flows); err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(horizon)
+
+		var measured []flowtune.FlowRecord
+		for _, r := range sim.Records() {
+			if r.Start >= warmup {
+				measured = append(measured, r)
+			}
+		}
+		fmt.Printf("%s: %d flowlets at load %.1f\n", scheme, len(measured), load)
+		for _, s := range metrics.SummarizeFCT(measured, workload.BucketLabel, workload.Buckets()) {
+			fmt.Printf("  %-18s p99 normalized FCT = %.2f (n=%d)\n", s.Bucket, s.P99, s.Count)
+		}
+		fmt.Printf("  dropped: %.3f Gbit/s\n\n", float64(sim.DroppedBytes()*8)/horizon/1e9)
+	}
+}

@@ -1,0 +1,219 @@
+// Package flowtune is a Go implementation of Flowtune (Perry, Balakrishnan
+// and Shah; "Flowtune: Flowlet Control for Datacenter Networks", NSDI 2017):
+// centralized, flowlet-granularity rate allocation for datacenter networks.
+//
+// Flowtune replaces per-packet congestion control with flowlet control: when
+// a flowlet (a batch of backlogged packets) starts or ends, the endpoint
+// notifies a centralized allocator; the allocator solves a network utility
+// maximization problem with the Newton-Exact-Diagonal (NED) method, scales
+// the result with F-NORM so no link is over-subscribed, and returns explicit
+// rates that endpoints use to pace their traffic.
+//
+// The package exposes four layers:
+//
+//   - The rate allocator: NewAllocator (single core) and NewParallelAllocator
+//     (the FlowBlock/LinkBlock multicore design of §5 of the paper).
+//   - The optimization machinery: NED and the baseline algorithms (Gradient,
+//     FGM, Newton-like) plus the U-NORM/F-NORM normalizers, for use outside
+//     the allocator.
+//   - The evaluation substrate: a two-tier Clos topology model, the Facebook
+//     Web/Cache/Hadoop flowlet workloads, and a packet-level simulator with
+//     Flowtune, DCTCP, pFabric, Cubic-over-sfqCoDel and XCP endpoints.
+//   - Experiment drivers that regenerate every table and figure of the
+//     paper's evaluation (see the Experiments type and cmd/flowtune-bench).
+//
+// Quick start:
+//
+//	topo, _ := flowtune.NewTopology(flowtune.DefaultSimTopologyConfig())
+//	alloc, _ := flowtune.NewAllocator(flowtune.AllocatorConfig{Topology: topo})
+//	alloc.FlowletStart(1, 0, 17, 1)   // flow 1: server 0 -> server 17
+//	alloc.FlowletStart(2, 3, 17, 1)   // flow 2: server 3 -> server 17
+//	for i := 0; i < 50; i++ {
+//		alloc.Iterate()
+//	}
+//	fmt.Println(alloc.Rate(1), alloc.Rate(2)) // ≈ half the 10 Gbit/s link each
+package flowtune
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/norm"
+	"repro/internal/num"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Topology
+
+// Topology is a two-tier Clos fabric (see NewTopology).
+type Topology = topology.Topology
+
+// TopologyConfig describes a two-tier Clos fabric.
+type TopologyConfig = topology.Config
+
+// Link and node types of the fabric.
+type (
+	// Link is one unidirectional fabric link.
+	Link = topology.Link
+	// LinkID identifies a link within a Topology.
+	LinkID = topology.LinkID
+	// NodeID identifies a node within a Topology.
+	NodeID = topology.NodeID
+	// Path is an ordered list of links from source to destination.
+	Path = topology.Path
+)
+
+// NewTopology builds a two-tier Clos topology.
+func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.NewTwoTier(cfg) }
+
+// DefaultSimTopologyConfig returns the paper's simulation fabric: 9 racks of
+// 16 servers, 4 spines, 10 Gbit/s links.
+func DefaultSimTopologyConfig() TopologyConfig { return topology.DefaultSimConfig() }
+
+// ---------------------------------------------------------------------------
+// Allocator
+
+// Allocator is the centralized flowlet rate allocator.
+type Allocator = core.Allocator
+
+// AllocatorConfig configures an Allocator.
+type AllocatorConfig = core.Config
+
+// FlowID identifies a flowlet registered with an allocator.
+type FlowID = core.FlowID
+
+// RateUpdate is one rate notification produced by Allocator.Iterate.
+type RateUpdate = core.RateUpdate
+
+// TrafficStats summarizes allocator control-plane traffic.
+type TrafficStats = core.TrafficStats
+
+// NewAllocator creates a single-core allocator.
+func NewAllocator(cfg AllocatorConfig) (*Allocator, error) { return core.NewAllocator(cfg) }
+
+// ParallelAllocator is the FlowBlock/LinkBlock multicore allocator (§5).
+type ParallelAllocator = core.ParallelAllocator
+
+// ParallelAllocatorConfig configures a ParallelAllocator.
+type ParallelAllocatorConfig = core.ParallelConfig
+
+// ParallelFlow is one flow handed to a ParallelAllocator.
+type ParallelFlow = core.ParallelFlow
+
+// NewParallelAllocator creates the multicore allocator.
+func NewParallelAllocator(cfg ParallelAllocatorConfig) (*ParallelAllocator, error) {
+	return core.NewParallelAllocator(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Optimization machinery
+
+// Utility is a flow utility function (strictly concave, increasing).
+type Utility = num.Utility
+
+// LogUtility is the weighted proportional-fairness utility w·log(x).
+type LogUtility = num.LogUtility
+
+// Problem is a static NUM instance (link capacities plus flows).
+type Problem = num.Problem
+
+// Flow is one flow of a Problem.
+type Flow = num.Flow
+
+// State is mutable solver state: link prices and flow rates.
+type State = num.State
+
+// Solver is one iteration of a NUM price-update algorithm.
+type Solver = num.Solver
+
+// NED returns the Newton-Exact-Diagonal solver with step size γ.
+func NED(gamma float64) Solver { return &num.NED{Gamma: gamma} }
+
+// GradientSolver returns the gradient-projection baseline.
+func GradientSolver() Solver { return num.NewGradient() }
+
+// FGMSolver returns the fast weighted gradient method baseline.
+func FGMSolver() Solver { return num.NewFGM() }
+
+// NewtonLikeSolver returns the measurement-based Newton-like baseline.
+func NewtonLikeSolver() Solver { return num.NewNewtonLike() }
+
+// NewState creates solver state for a problem with all prices at 1.
+func NewState(p *Problem) *State { return num.NewState(p) }
+
+// Solve iterates a solver to convergence.
+func Solve(s Solver, p *Problem, st *State, opts SolveOptions) (int, error) {
+	return num.Solve(s, p, st, opts)
+}
+
+// SolveOptions configures Solve.
+type SolveOptions = num.SolveOptions
+
+// Normalizer scales flow rates so no link exceeds capacity.
+type Normalizer = norm.Normalizer
+
+// FNorm returns the per-flow normalizer (Flowtune's default).
+func FNorm() Normalizer { return norm.NewFNorm() }
+
+// UNorm returns the uniform normalizer.
+func UNorm() Normalizer { return norm.NewUNorm() }
+
+// ---------------------------------------------------------------------------
+// Workloads
+
+// WorkloadKind selects one of the Facebook workloads (Web, Cache, Hadoop).
+type WorkloadKind = workload.Kind
+
+// Workload kinds from the paper's evaluation.
+const (
+	Web    = workload.Web
+	Cache  = workload.Cache
+	Hadoop = workload.Hadoop
+)
+
+// Flowlet is one generated flowlet.
+type Flowlet = workload.Flowlet
+
+// WorkloadConfig configures a flowlet generator.
+type WorkloadConfig = workload.GeneratorConfig
+
+// WorkloadGenerator produces Poisson flowlet arrivals at a target load.
+type WorkloadGenerator = workload.Generator
+
+// NewWorkloadGenerator creates a flowlet generator.
+func NewWorkloadGenerator(cfg WorkloadConfig) (*WorkloadGenerator, error) {
+	return workload.NewGenerator(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+
+// Scheme identifies a congestion-control scheme for simulation.
+type Scheme = transport.Scheme
+
+// Schemes available in the simulator.
+const (
+	SchemeFlowtune = transport.Flowtune
+	SchemeDCTCP    = transport.DCTCP
+	SchemePFabric  = transport.PFabric
+	SchemeSFQCoDel = transport.SFQCoDel
+	SchemeXCP      = transport.XCP
+	SchemeTCP      = transport.TCP
+)
+
+// Simulation runs one scheme over a set of flowlets on a simulated fabric.
+type Simulation = transport.Engine
+
+// SimulationConfig configures a Simulation.
+type SimulationConfig = transport.EngineConfig
+
+// NewSimulation creates a packet-level simulation of one scheme.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) { return transport.NewEngine(cfg) }
+
+// FlowRecord is the outcome of one simulated flow.
+type FlowRecord = metrics.FlowRecord
+
+// Percentile returns the p-th percentile of values.
+func Percentile(values []float64, p float64) float64 { return metrics.Percentile(values, p) }

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/num"
+	"repro/internal/topology"
+)
+
+func simTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewTwoTier(topology.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func newTestAllocator(t *testing.T, cfg Config) *Allocator {
+	t.Helper()
+	if cfg.Topology == nil {
+		cfg.Topology = simTopo(t)
+	}
+	a, err := NewAllocator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAllocatorValidation(t *testing.T) {
+	if _, err := NewAllocator(Config{}); err == nil {
+		t.Error("allocator without topology accepted")
+	}
+	if _, err := NewAllocator(Config{Topology: simTopo(t), UpdateThreshold: 1.5}); err == nil {
+		t.Error("threshold >= 1 accepted")
+	}
+	a := newTestAllocator(t, Config{})
+	cfg := a.Config()
+	if cfg.Gamma != 0.4 || cfg.UpdateThreshold != 0.01 || cfg.IterationInterval != 10e-6 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Normalizer == nil || cfg.Normalizer.Name() != "F-NORM" {
+		t.Error("default normalizer should be F-NORM")
+	}
+}
+
+func TestFlowletLifecycle(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	if err := a.FlowletStart(1, 0, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FlowletStart(1, 0, 17, 1); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if !a.HasFlow(1) || a.NumFlows() != 1 {
+		t.Error("flow not registered")
+	}
+	if err := a.FlowletEnd(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.HasFlow(1) || a.NumFlows() != 0 {
+		t.Error("flow not removed")
+	}
+	if err := a.FlowletEnd(1); err == nil {
+		t.Error("removing an unknown flow should fail")
+	}
+	if err := a.FlowletStart(2, 0, 0, 1); err == nil {
+		t.Error("flow with src == dst accepted")
+	}
+}
+
+func TestFairShareSingleBottleneck(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	// Three flows into server 17's downlink.
+	for id, src := range []int{0, 40, 100} {
+		if err := a.FlowletStart(FlowID(id+1), src, 17, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		a.Iterate()
+	}
+	link := a.Config().Topology.Config().LinkCapacity
+	want := link * (1 - a.Config().UpdateThreshold) / 3
+	for id := FlowID(1); id <= 3; id++ {
+		if got := a.Rate(id); math.Abs(got-want)/want > 0.02 {
+			t.Errorf("flow %d rate %.3g, want %.3g", id, got, want)
+		}
+	}
+}
+
+func TestWeightedAllocation(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	if err := a.FlowletStart(1, 0, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FlowletStart(2, 40, 17, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a.Iterate()
+	}
+	r1, r2 := a.Rate(1), a.Rate(2)
+	if math.Abs(r2/r1-3) > 0.1 {
+		t.Errorf("weighted shares wrong: r1=%.3g r2=%.3g (want 1:3)", r1, r2)
+	}
+}
+
+func TestRatesNeverExceedLinkCapacity(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	// Heavy incast into one server plus cross traffic.
+	id := FlowID(1)
+	for src := 1; src <= 20; src++ {
+		if err := a.FlowletStart(id, src, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	for i := 0; i < 100; i++ {
+		a.Iterate()
+		// Normalized rates must always respect capacities.
+		loads := num.LinkLoads(a.Problem(), normalizedRates(a), nil)
+		for l, load := range loads {
+			capacity := a.Config().Topology.Link(topology.LinkID(l)).Capacity
+			if load > capacity*1.0001 {
+				t.Fatalf("iteration %d: link %d over capacity: %.3g > %.3g", i, l, load, capacity)
+			}
+		}
+	}
+}
+
+// normalizedRates extracts the allocator's normalized rates in problem order.
+func normalizedRates(a *Allocator) []float64 {
+	rates := make([]float64, a.NumFlows())
+	m := a.Rates()
+	i := 0
+	for _, f := range a.flows {
+		rates[i] = m[f.id]
+		i++
+	}
+	return rates
+}
+
+func TestReconvergenceAfterChurn(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	for id := 1; id <= 4; id++ {
+		if err := a.FlowletStart(FlowID(id), id*10, 17, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		a.Iterate()
+	}
+	if err := a.FlowletEnd(2); err != nil {
+		t.Fatal(err)
+	}
+	// Within a handful of iterations the remaining flows should share the
+	// released bandwidth (the paper: convergence within ~20 µs, i.e. a few
+	// 10 µs iterations).
+	for i := 0; i < 20; i++ {
+		a.Iterate()
+	}
+	link := a.Config().Topology.Config().LinkCapacity
+	want := link * (1 - a.Config().UpdateThreshold) / 3
+	for _, id := range []FlowID{1, 3, 4} {
+		if got := a.Rate(id); math.Abs(got-want)/want > 0.05 {
+			t.Errorf("flow %d rate %.3g after churn, want %.3g", id, got, want)
+		}
+	}
+}
+
+func TestUpdateThresholdSuppressesNotifications(t *testing.T) {
+	a := newTestAllocator(t, Config{UpdateThreshold: 0.01})
+	if err := a.FlowletStart(1, 0, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FlowletStart(2, 40, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	var updates int
+	for i := 0; i < 100; i++ {
+		updates += len(a.Iterate())
+	}
+	stats := a.Stats()
+	if stats.RateUpdatesSent != int64(updates) {
+		t.Errorf("stats (%d) disagree with returned updates (%d)", stats.RateUpdatesSent, updates)
+	}
+	// In steady state the rates stop changing, so almost all iterations
+	// suppress their updates.
+	if stats.RateUpdatesSuppressed < 150 {
+		t.Errorf("expected most updates to be suppressed in steady state, got %d suppressed / %d sent",
+			stats.RateUpdatesSuppressed, stats.RateUpdatesSent)
+	}
+	if updates < 2 {
+		t.Errorf("at least the initial allocations must be notified, got %d", updates)
+	}
+}
+
+func TestHigherThresholdSendsFewerUpdates(t *testing.T) {
+	// 25 flows share one destination link; each additional arrival changes
+	// the existing flows' fair share by ~3-4%, which a 0.01 threshold must
+	// report but a 0.05 threshold suppresses.
+	run := func(threshold float64) int64 {
+		a := newTestAllocator(t, Config{UpdateThreshold: threshold})
+		id := FlowID(1)
+		for ; id <= 25; id++ {
+			_ = a.FlowletStart(id, 1+int(id), 0, 1)
+		}
+		for i := 0; i < 100; i++ {
+			a.Iterate()
+		}
+		a.ResetStats()
+		for ; id <= 30; id++ {
+			_ = a.FlowletStart(id, 1+int(id), 0, 1)
+			for i := 0; i < 30; i++ {
+				a.Iterate()
+			}
+		}
+		return a.Stats().RateUpdatesSent
+	}
+	low := run(0.01)
+	high := run(0.05)
+	if high >= low {
+		t.Errorf("threshold 0.05 sent %d updates, threshold 0.01 sent %d; higher threshold should send fewer", high, low)
+	}
+}
+
+func TestTrafficStatsAccounting(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	_ = a.FlowletStart(1, 0, 17, 1)
+	_ = a.FlowletStart(2, 5, 30, 1)
+	_ = a.FlowletEnd(1)
+	stats := a.Stats()
+	if stats.StartNotifications != 2 || stats.EndNotifications != 1 {
+		t.Errorf("notification counts wrong: %+v", stats)
+	}
+	wantTo := int64(2*(FlowletStartBytes+perMessageOverheadBytes) + FlowletEndBytes + perMessageOverheadBytes)
+	if stats.ToAllocatorBytes != wantTo {
+		t.Errorf("ToAllocatorBytes = %d, want %d", stats.ToAllocatorBytes, wantTo)
+	}
+	a.ResetStats()
+	if a.Stats().ToAllocatorBytes != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	to, from := a.UpdateTrafficFractions(0)
+	if to != 0 || from != 0 {
+		t.Error("zero-duration fractions should be zero")
+	}
+}
+
+func TestFailureAndRecovery(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	_ = a.FlowletStart(1, 0, 17, 1)
+	for i := 0; i < 50; i++ {
+		a.Iterate()
+	}
+	before := a.Rate(1)
+	a.Fail()
+	if !a.Failed() {
+		t.Error("Failed() should report true")
+	}
+	if got := a.Iterate(); got != nil {
+		t.Error("failed allocator should not produce updates")
+	}
+	// Rates survive the failure (endpoints keep using them, §2).
+	if a.Rate(1) != before {
+		t.Error("rates should be preserved across a failure")
+	}
+	a.Recover()
+	if a.Failed() {
+		t.Error("Recover did not clear the failure")
+	}
+	// After recovery the allocator picks up where it left off.
+	a.Iterate()
+	if math.Abs(a.Rate(1)-before)/before > 0.05 {
+		t.Errorf("rate after recovery %.3g drifted from %.3g", a.Rate(1), before)
+	}
+}
+
+func TestIterateWithNoFlows(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	if got := a.Iterate(); got != nil {
+		t.Error("Iterate with no flows should return nil")
+	}
+	if a.OverAllocation() != 0 {
+		t.Error("OverAllocation with no flows should be 0")
+	}
+}
+
+func TestUNormAllocatorStillFeasible(t *testing.T) {
+	a := newTestAllocator(t, Config{Normalizer: norm.NewUNorm()})
+	for id := 1; id <= 5; id++ {
+		_ = a.FlowletStart(FlowID(id), id, 100, 1)
+	}
+	for i := 0; i < 50; i++ {
+		a.Iterate()
+	}
+	loads := num.LinkLoads(a.Problem(), normalizedRates(a), nil)
+	for l, load := range loads {
+		capacity := a.Config().Topology.Link(topology.LinkID(l)).Capacity
+		if load > capacity*1.0001 {
+			t.Fatalf("U-NORM allocator exceeded capacity on link %d", l)
+		}
+	}
+}
+
+func TestRawVsNormalizedRates(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	for id := 1; id <= 8; id++ {
+		_ = a.FlowletStart(FlowID(id), id, 140, 1)
+	}
+	a.Iterate()
+	raw := a.RawRates()
+	normalized := a.Rates()
+	for id, r := range normalized {
+		if r > raw[id]*1.0001 {
+			t.Errorf("flow %d: normalized rate %.3g exceeds raw %.3g", id, r, raw[id])
+		}
+	}
+}
+
+func TestRateUnknownFlow(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	if got := a.Rate(99); got != 0 {
+		t.Errorf("Rate(unknown) = %g, want 0", got)
+	}
+}
+
+func TestSignificantChange(t *testing.T) {
+	cases := []struct {
+		old, new, threshold float64
+		want                bool
+	}{
+		{0, 5, 0.01, true},
+		{0, 0, 0.01, false},
+		{100, 100.5, 0.01, false},
+		{100, 102, 0.01, true},
+		{100, 98, 0.01, true},
+		{100, 99.5, 0.01, false},
+	}
+	for _, tc := range cases {
+		if got := significantChange(tc.old, tc.new, tc.threshold); got != tc.want {
+			t.Errorf("significantChange(%g,%g,%g) = %v, want %v", tc.old, tc.new, tc.threshold, got, tc.want)
+		}
+	}
+}

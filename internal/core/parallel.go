@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// ParallelFlow is one flow handed to the multicore allocator.
+type ParallelFlow struct {
+	// ID is an opaque identifier reported back with rates.
+	ID FlowID
+	// Src and Dst are server indices.
+	Src, Dst int
+	// Weight is the log-utility weight (1 when zero).
+	Weight float64
+}
+
+// pflow is the per-FlowBlock representation of a flow: link positions are
+// pre-resolved into the FlowBlock's two LinkBlocks so the inner loop touches
+// only block-local state.
+type pflow struct {
+	id      FlowID
+	weight  float64
+	upIdx   []int32 // positions within the source block's upward LinkBlock
+	downIdx []int32 // positions within the destination block's downward LinkBlock
+	rate    float64
+}
+
+// flowBlock is the state owned by one worker: its flows, its local copies of
+// the two LinkBlocks it updates, and scratch space for aggregation.
+type flowBlock struct {
+	srcBlock, dstBlock int
+
+	flows []pflow
+
+	// Local copies of link state (§5): prices are copied in during the
+	// distribute step; loads and Hessian diagonals are accumulated locally
+	// during the rate-update step and merged during aggregation.
+	upPrice, downPrice []float64
+	upLoad, downLoad   []float64
+	upHdiag, downHdiag []float64
+}
+
+// linkBlockState is the authoritative state of one LinkBlock (prices persist
+// across iterations; capacities are fixed).
+type linkBlockState struct {
+	links []topology.LinkID
+	price []float64
+	cap   []float64
+	// posOf maps LinkID to its position within the block.
+	posOf map[topology.LinkID]int32
+}
+
+func newLinkBlockState(t *topology.Topology, links []topology.LinkID, headroom float64) *linkBlockState {
+	s := &linkBlockState{
+		links: links,
+		price: make([]float64, len(links)),
+		cap:   make([]float64, len(links)),
+		posOf: make(map[topology.LinkID]int32, len(links)),
+	}
+	for i, l := range links {
+		s.price[i] = 1
+		s.cap[i] = t.Link(l).Capacity * (1 - headroom)
+		s.posOf[l] = int32(i)
+	}
+	return s
+}
+
+// ParallelConfig configures the multicore allocator.
+type ParallelConfig struct {
+	// Topology is the fabric to schedule. Required.
+	Topology *topology.Topology
+	// Blocks is the number of rack blocks n; the allocator uses n²
+	// FlowBlocks, each handled by one worker goroutine (the paper's 4-,
+	// 16- and 64-core configurations correspond to 2, 4 and 8 blocks).
+	Blocks int
+	// Gamma is NED's step size (default 1).
+	Gamma float64
+	// Headroom is the fraction of link capacity withheld (the update
+	// threshold of the sequential allocator); default 0.
+	Headroom float64
+	// Normalize enables the parallel F-NORM pass after the price update.
+	Normalize bool
+}
+
+// ParallelAllocator is the FlowBlock/LinkBlock multicore implementation of
+// the NED optimizer (§5). Flows are partitioned by (source block, destination
+// block) into FlowBlocks; each FlowBlock worker updates only its own local
+// copies of the source block's upward LinkBlock and the destination block's
+// downward LinkBlock, eliminating concurrent writes. Local copies are then
+// merged into authoritative copies in log2(n) pairwise aggregation rounds
+// (Figure 3), prices are updated on the authoritative copies, and the new
+// prices are distributed back to the FlowBlocks.
+type ParallelAllocator struct {
+	cfg  ParallelConfig
+	topo *topology.Topology
+	part *topology.BlockPartition
+
+	numBlocks int
+	gamma     float64
+	maxRate   float64 // per-flow rate cap (the server NIC line rate)
+
+	up   []*linkBlockState // authoritative upward LinkBlocks, indexed by block
+	down []*linkBlockState // authoritative downward LinkBlocks, indexed by block
+
+	fbs []*flowBlock // indexed by srcBlock*numBlocks + dstBlock
+
+	// Worker pool: one worker per FlowBlock. The outer barrier (workers +
+	// coordinator) marks the start and end of an iteration; the inner
+	// barrier (workers only) separates the phases within an iteration.
+	barrier *barrier
+	inner   *barrier
+	wg      sync.WaitGroup
+	stop    bool
+	started bool
+
+	numFlows int
+}
+
+// NewParallelAllocator builds the multicore allocator.
+func NewParallelAllocator(cfg ParallelConfig) (*ParallelAllocator, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: ParallelConfig.Topology is required")
+	}
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("core: ParallelConfig.Blocks must be positive, got %d", cfg.Blocks)
+	}
+	if cfg.Blocks&(cfg.Blocks-1) != 0 {
+		return nil, fmt.Errorf("core: ParallelConfig.Blocks must be a power of two, got %d", cfg.Blocks)
+	}
+	part, err := topology.NewBlockPartition(cfg.Topology, cfg.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	p := &ParallelAllocator{
+		cfg:       cfg,
+		topo:      cfg.Topology,
+		part:      part,
+		numBlocks: cfg.Blocks,
+		gamma:     gamma,
+		maxRate:   cfg.Topology.Config().LinkCapacity,
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		p.up = append(p.up, newLinkBlockState(cfg.Topology, part.UpwardLinkBlock(b), cfg.Headroom))
+		p.down = append(p.down, newLinkBlockState(cfg.Topology, part.DownwardLinkBlock(b), cfg.Headroom))
+	}
+	for sb := 0; sb < cfg.Blocks; sb++ {
+		for db := 0; db < cfg.Blocks; db++ {
+			fb := &flowBlock{
+				srcBlock:  sb,
+				dstBlock:  db,
+				upPrice:   make([]float64, len(p.up[sb].links)),
+				downPrice: make([]float64, len(p.down[db].links)),
+				upLoad:    make([]float64, len(p.up[sb].links)),
+				downLoad:  make([]float64, len(p.down[db].links)),
+				upHdiag:   make([]float64, len(p.up[sb].links)),
+				downHdiag: make([]float64, len(p.down[db].links)),
+			}
+			copy(fb.upPrice, p.up[sb].price)
+			copy(fb.downPrice, p.down[db].price)
+			p.fbs = append(p.fbs, fb)
+		}
+	}
+	return p, nil
+}
+
+// NumWorkers returns the number of worker goroutines (FlowBlocks).
+func (p *ParallelAllocator) NumWorkers() int { return len(p.fbs) }
+
+// NumFlows returns the number of loaded flows.
+func (p *ParallelAllocator) NumFlows() int { return p.numFlows }
+
+// AggregationSteps returns the number of pairwise merge rounds per iteration.
+func (p *ParallelAllocator) AggregationSteps() int { return p.part.AggregationSteps() }
+
+// SetFlows replaces the allocator's flow set. It may only be called while no
+// Iterate call is in flight.
+func (p *ParallelAllocator) SetFlows(flows []ParallelFlow) error {
+	for _, fb := range p.fbs {
+		fb.flows = fb.flows[:0]
+	}
+	for _, f := range flows {
+		route, err := p.topo.Route(f.Src, f.Dst, int(f.ID))
+		if err != nil {
+			return fmt.Errorf("core: flow %d: %w", f.ID, err)
+		}
+		sb := p.part.BlockOfServer(f.Src)
+		db := p.part.BlockOfServer(f.Dst)
+		fb := p.fbs[sb*p.numBlocks+db]
+		weight := f.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		// Weights are scaled by link capacity (as in the sequential
+		// allocator) so prices stay O(1).
+		pf := pflow{id: f.ID, weight: weight * p.topo.Config().LinkCapacity}
+		for _, l := range route {
+			if pos, ok := p.up[sb].posOf[l]; ok {
+				pf.upIdx = append(pf.upIdx, pos)
+				continue
+			}
+			if pos, ok := p.down[db].posOf[l]; ok {
+				pf.downIdx = append(pf.downIdx, pos)
+				continue
+			}
+			return fmt.Errorf("core: flow %d: link %d is in neither its upward nor its downward LinkBlock", f.ID, l)
+		}
+		fb.flows = append(fb.flows, pf)
+	}
+	p.numFlows = len(flows)
+	return nil
+}
+
+// start launches the persistent worker goroutines on first use.
+func (p *ParallelAllocator) start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.barrier = newBarrier(len(p.fbs) + 1) // workers + coordinator
+	p.inner = newBarrier(len(p.fbs))       // workers only
+	for w := range p.fbs {
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+}
+
+// Close shuts down the worker pool. The allocator cannot be used afterwards.
+func (p *ParallelAllocator) Close() {
+	if !p.started {
+		return
+	}
+	p.stop = true
+	p.barrier.wait() // release workers into the iteration; they observe stop
+	p.wg.Wait()
+	p.started = false
+}
+
+// Iterate runs one parallel NED iteration (rate update, aggregation, price
+// update, distribution, and optionally F-NORM) and returns after all workers
+// finish.
+func (p *ParallelAllocator) Iterate() {
+	p.start()
+	p.barrier.wait() // release workers into the iteration
+	p.barrier.wait() // wait for workers to finish the iteration
+}
+
+// worker is the body of one FlowBlock worker goroutine.
+func (p *ParallelAllocator) worker(idx int) {
+	defer p.wg.Done()
+	fb := p.fbs[idx]
+	n := p.numBlocks
+	for {
+		p.barrier.wait() // wait for Iterate (or Close)
+		if p.stop {
+			return
+		}
+
+		// Phase 1: rate update on local copies (Equation 3), accumulating
+		// per-link loads and Hessian diagonals locally.
+		p.rateUpdatePhase(fb)
+		p.inner.wait()
+
+		// Phase 2: log2(n) pairwise aggregation rounds. Upward LinkBlocks
+		// are reduced across the destination-block dimension; downward
+		// LinkBlocks across the source-block dimension (Figure 3).
+		for stride := 1; stride < n; stride *= 2 {
+			if fb.dstBlock%(2*stride) == 0 && fb.dstBlock+stride < n {
+				other := p.fbs[fb.srcBlock*n+fb.dstBlock+stride]
+				addInto(fb.upLoad, other.upLoad)
+				addInto(fb.upHdiag, other.upHdiag)
+			}
+			if fb.srcBlock%(2*stride) == 0 && fb.srcBlock+stride < n {
+				other := p.fbs[(fb.srcBlock+stride)*n+fb.dstBlock]
+				addInto(fb.downLoad, other.downLoad)
+				addInto(fb.downHdiag, other.downHdiag)
+			}
+			p.inner.wait()
+		}
+
+		// Phase 3: price update (Equation 4) on the authoritative copies.
+		// FlowBlock (b, 0) owns block b's upward LinkBlock; FlowBlock
+		// (0, b) owns block b's downward LinkBlock.
+		if fb.dstBlock == 0 {
+			p.priceUpdatePhase(p.up[fb.srcBlock], fb.upLoad, fb.upHdiag)
+		}
+		if fb.srcBlock == 0 {
+			p.priceUpdatePhase(p.down[fb.dstBlock], fb.downLoad, fb.downHdiag)
+		}
+		p.inner.wait()
+
+		// Phase 4: distribute the new prices back to local copies.
+		copy(fb.upPrice, p.up[fb.srcBlock].price)
+		copy(fb.downPrice, p.down[fb.dstBlock].price)
+
+		if p.cfg.Normalize {
+			p.inner.wait()
+			// Parallel F-NORM: each FlowBlock scales its flows by the
+			// worst utilization ratio along their paths, computed from the
+			// aggregated loads held by the LinkBlock owners.
+			p.normalizePhase(fb)
+		}
+
+		p.barrier.wait() // iteration complete; coordinator resumes
+	}
+}
+
+// rateUpdatePhase computes flow rates from the FlowBlock's local prices and
+// accumulates loads and Hessian diagonals locally.
+func (p *ParallelAllocator) rateUpdatePhase(fb *flowBlock) {
+	for i := range fb.upLoad {
+		fb.upLoad[i] = 0
+		fb.upHdiag[i] = 0
+	}
+	for i := range fb.downLoad {
+		fb.downLoad[i] = 0
+		fb.downHdiag[i] = 0
+	}
+	for i := range fb.flows {
+		f := &fb.flows[i]
+		priceSum := 0.0
+		for _, pos := range f.upIdx {
+			priceSum += fb.upPrice[pos]
+		}
+		for _, pos := range f.downIdx {
+			priceSum += fb.downPrice[pos]
+		}
+		if priceSum < minParallelPrice {
+			priceSum = minParallelPrice
+		}
+		x := f.weight / priceSum
+		if x > p.maxRate {
+			x = p.maxRate
+		}
+		d := -f.weight / (priceSum * priceSum)
+		f.rate = x
+		for _, pos := range f.upIdx {
+			fb.upLoad[pos] += x
+			fb.upHdiag[pos] += d
+		}
+		for _, pos := range f.downIdx {
+			fb.downLoad[pos] += x
+			fb.downHdiag[pos] += d
+		}
+	}
+}
+
+// minParallelPrice mirrors the price floor of the sequential solver.
+const minParallelPrice = 1e-12
+
+// priceUpdatePhase applies NED's price update to one authoritative LinkBlock.
+func (p *ParallelAllocator) priceUpdatePhase(lb *linkBlockState, load, hdiag []float64) {
+	for i := range lb.price {
+		g := load[i] - lb.cap[i]
+		h := hdiag[i]
+		if h == 0 {
+			// Mirror the sequential solver: idle links decay toward zero.
+			lb.price[i] *= 0.5
+			continue
+		}
+		price := lb.price[i] - p.gamma*g/h
+		if price < 0 {
+			price = 0
+		}
+		lb.price[i] = price
+	}
+}
+
+// normalizePhase applies F-NORM within a FlowBlock: each flow is scaled by
+// the worst load/capacity ratio among the links it traverses. The aggregated
+// loads live in the owner FlowBlocks (column 0 for upward, row 0 for
+// downward), which this phase only reads.
+func (p *ParallelAllocator) normalizePhase(fb *flowBlock) {
+	upOwner := p.fbs[fb.srcBlock*p.numBlocks] // (srcBlock, 0)
+	downOwner := p.fbs[fb.dstBlock]           // (0, dstBlock)
+	upCap := p.up[fb.srcBlock].cap
+	downCap := p.down[fb.dstBlock].cap
+	for i := range fb.flows {
+		f := &fb.flows[i]
+		worst := 1.0
+		for _, pos := range f.upIdx {
+			if r := upOwner.upLoad[pos] / upCap[pos]; r > worst {
+				worst = r
+			}
+		}
+		for _, pos := range f.downIdx {
+			if r := downOwner.downLoad[pos] / downCap[pos]; r > worst {
+				worst = r
+			}
+		}
+		if worst > 1 {
+			f.rate /= worst
+		}
+	}
+}
+
+// Rates returns the rates computed by the most recent Iterate call, keyed by
+// flow ID.
+func (p *ParallelAllocator) Rates() map[FlowID]float64 {
+	out := make(map[FlowID]float64, p.numFlows)
+	for _, fb := range p.fbs {
+		for i := range fb.flows {
+			out[fb.flows[i].id] = fb.flows[i].rate
+		}
+	}
+	return out
+}
+
+// Prices returns the authoritative link prices keyed by LinkID.
+func (p *ParallelAllocator) Prices() map[topology.LinkID]float64 {
+	out := make(map[topology.LinkID]float64)
+	for _, lb := range p.up {
+		for i, l := range lb.links {
+			out[l] = lb.price[i]
+		}
+	}
+	for _, lb := range p.down {
+		for i, l := range lb.links {
+			out[l] = lb.price[i]
+		}
+	}
+	return out
+}
+
+// addInto adds src element-wise into dst.
+func addInto(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// barrier is a reusable cyclic barrier for n parties.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties have called wait for the current
+// generation.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/topology"
+)
+
+// parallelTestTopo builds a small fabric whose rack count is divisible by the
+// requested block counts.
+func parallelTestTopo(t *testing.T, racks int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks:          racks,
+		ServersPerRack: 8,
+		Spines:         4,
+		LinkCapacity:   10e9,
+		LinkDelay:      1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestNewParallelAllocatorValidation(t *testing.T) {
+	topo := parallelTestTopo(t, 8)
+	if _, err := NewParallelAllocator(ParallelConfig{Blocks: 2}); err == nil {
+		t.Error("missing topology accepted")
+	}
+	if _, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 0}); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	if _, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 3}); err == nil {
+		t.Error("non-power-of-two blocks accepted")
+	}
+	if _, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 16}); err == nil {
+		t.Error("blocks not dividing racks accepted")
+	}
+	pa, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+	if pa.NumWorkers() != 16 {
+		t.Errorf("NumWorkers = %d, want 16", pa.NumWorkers())
+	}
+	if pa.AggregationSteps() != 2 {
+		t.Errorf("AggregationSteps = %d, want 2", pa.AggregationSteps())
+	}
+}
+
+// randomParallelFlows draws distinct-endpoint flows.
+func randomParallelFlows(numServers, count int, seed int64) []ParallelFlow {
+	rng := rand.New(rand.NewSource(seed))
+	flows := make([]ParallelFlow, count)
+	for i := range flows {
+		src := rng.Intn(numServers)
+		dst := rng.Intn(numServers - 1)
+		if dst >= src {
+			dst++
+		}
+		flows[i] = ParallelFlow{ID: FlowID(i), Src: src, Dst: dst, Weight: 1}
+	}
+	return flows
+}
+
+// sequentialReference runs the sequential NED solver on the same flows and
+// returns rates keyed by flow ID after the given number of iterations.
+func sequentialReference(t *testing.T, topo *topology.Topology, flows []ParallelFlow, iters int) map[FlowID]float64 {
+	t.Helper()
+	prob := num.Problem{Capacities: topo.Capacities(), MaxFlowRate: topo.Config().LinkCapacity}
+	for _, f := range flows {
+		route, err := topo.Route(f.Src, f.Dst, int(f.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := make([]int32, len(route))
+		for i, l := range route {
+			links[i] = int32(l)
+		}
+		prob.Flows = append(prob.Flows, num.Flow{
+			Route: links,
+			Util:  num.LogUtility{W: topo.Config().LinkCapacity},
+		})
+	}
+	st := num.NewState(&prob)
+	ned := &num.NED{Gamma: 1}
+	for i := 0; i < iters; i++ {
+		ned.Step(&prob, st)
+	}
+	out := make(map[FlowID]float64, len(flows))
+	for i, f := range flows {
+		out[f.ID] = st.Rates[i]
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the key correctness test of the multicore
+// design: the FlowBlock/LinkBlock-partitioned iteration must compute exactly
+// the same rates as the sequential NED iteration.
+func TestParallelMatchesSequential(t *testing.T) {
+	topo := parallelTestTopo(t, 8)
+	flows := randomParallelFlows(topo.NumServers(), 500, 11)
+	const iters = 30
+	want := sequentialReference(t, topo, flows, iters)
+
+	for _, blocks := range []int{1, 2, 4} {
+		pa, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: blocks, Gamma: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pa.SetFlows(flows); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < iters; i++ {
+			pa.Iterate()
+		}
+		got := pa.Rates()
+		pa.Close()
+		if len(got) != len(want) {
+			t.Fatalf("blocks=%d: got %d rates, want %d", blocks, len(got), len(want))
+		}
+		for id, w := range want {
+			g := got[id]
+			if w == 0 {
+				continue
+			}
+			if math.Abs(g-w)/w > 1e-9 {
+				t.Fatalf("blocks=%d: flow %d rate %.9g differs from sequential %.9g", blocks, id, g, w)
+			}
+		}
+	}
+}
+
+func TestParallelNormalizeRespectsCapacity(t *testing.T) {
+	topo := parallelTestTopo(t, 8)
+	// Incast: many flows into the servers of rack 0.
+	var flows []ParallelFlow
+	for i := 0; i < 200; i++ {
+		flows = append(flows, ParallelFlow{ID: FlowID(i), Src: 8 + i%56, Dst: i % 8})
+	}
+	pa, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 2, Gamma: 1, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+	if err := pa.SetFlows(flows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pa.Iterate()
+	}
+	// Check per-destination-server loads stay within the NIC rate.
+	rates := pa.Rates()
+	perDst := map[int]float64{}
+	for _, f := range flows {
+		perDst[f.Dst] += rates[f.ID]
+	}
+	for dst, load := range perDst {
+		if load > topo.Config().LinkCapacity*1.001 {
+			t.Errorf("server %d downlink over capacity after F-NORM: %.3g", dst, load)
+		}
+	}
+}
+
+func TestParallelChurnViaSetFlows(t *testing.T) {
+	topo := parallelTestTopo(t, 8)
+	pa, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 2, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+	flows := randomParallelFlows(topo.NumServers(), 100, 3)
+	if err := pa.SetFlows(flows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pa.Iterate()
+	}
+	if pa.NumFlows() != 100 {
+		t.Errorf("NumFlows = %d, want 100", pa.NumFlows())
+	}
+	// Replace the flow set (prices persist) and keep iterating.
+	if err := pa.SetFlows(flows[:40]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pa.Iterate()
+	}
+	if got := len(pa.Rates()); got != 40 {
+		t.Errorf("Rates returned %d entries, want 40", got)
+	}
+	prices := pa.Prices()
+	for id, price := range prices {
+		if price < 0 || math.IsNaN(price) {
+			t.Fatalf("invalid price %g on link %d", price, id)
+		}
+	}
+}
+
+func TestParallelCloseIdempotent(t *testing.T) {
+	topo := parallelTestTopo(t, 8)
+	pa, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close before any Iterate must not hang or panic.
+	pa.Close()
+	pa.Close()
+
+	pa2, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa2.SetFlows(randomParallelFlows(topo.NumServers(), 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	pa2.Iterate()
+	pa2.Close()
+	pa2.Close()
+}
+
+func TestBarrier(t *testing.T) {
+	b := newBarrier(3)
+	done := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go func(id int) {
+			for round := 0; round < 100; round++ {
+				b.wait()
+			}
+			done <- id
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// ComparisonConfig configures the scheme-comparison simulations behind
+// Figures 8–11: the Web workload on the 144-server fabric, swept over loads,
+// once per congestion-control scheme.
+type ComparisonConfig struct {
+	// Schemes to simulate (default: all five).
+	Schemes []transport.Scheme
+	// Loads to sweep (default 0.2–0.8).
+	Loads []float64
+	// Workload kind (default Web, the paper's default).
+	Workload workload.Kind
+	// Duration is the measured simulation time per run.
+	Duration float64
+	// Warmup precedes measurement (flows arriving during warmup are still
+	// simulated but excluded from FCT statistics).
+	Warmup float64
+	// QueueSamplePeriod is the queue-length sampling period (default 100 µs).
+	QueueSamplePeriod float64
+	// Seed seeds the workload generator; each (scheme, load) pair uses the
+	// same flowlet trace for an apples-to-apples comparison.
+	Seed int64
+}
+
+func (c ComparisonConfig) withDefaults() ComparisonConfig {
+	if len(c.Schemes) == 0 {
+		c.Schemes = transport.AllSchemes()
+	}
+	if len(c.Loads) == 0 {
+		c.Loads = []float64{0.2, 0.4, 0.6, 0.8}
+	}
+	if c.Duration == 0 {
+		c.Duration = 10e-3
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2e-3
+	}
+	if c.QueueSamplePeriod == 0 {
+		c.QueueSamplePeriod = 100e-6
+	}
+	return c
+}
+
+// SchemeRunResult is the outcome of one (scheme, load) simulation.
+type SchemeRunResult struct {
+	Scheme transport.Scheme
+	Load   float64
+	// P99FCTByBucket maps flow-size buckets to p99 normalized FCT.
+	P99FCTByBucket map[string]float64
+	// P99QueueDelay2Hop and P99QueueDelay4Hop are 99th-percentile path
+	// queueing delays in seconds (Figure 9).
+	P99QueueDelay2Hop float64
+	P99QueueDelay4Hop float64
+	// DroppedGbps is the rate at which the fabric dropped data (Figure 10).
+	DroppedGbps float64
+	// MeanFairness is the mean per-flow log2(achieved rate) (Figure 11).
+	MeanFairness float64
+	// CompletionRate is the fraction of measured flows that finished.
+	CompletionRate float64
+	// Flows is the number of measured flows.
+	Flows int
+}
+
+// ComparisonResult aggregates all runs.
+type ComparisonResult struct {
+	Config ComparisonConfig
+	Runs   []SchemeRunResult
+}
+
+// RunComparison executes the full sweep.
+func RunComparison(cfg ComparisonConfig) (*ComparisonResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ComparisonResult{Config: cfg}
+	for _, load := range cfg.Loads {
+		for _, scheme := range cfg.Schemes {
+			run, err := runOneComparison(cfg, scheme, load)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at load %.2f: %w", scheme, load, err)
+			}
+			res.Runs = append(res.Runs, run)
+		}
+	}
+	return res, nil
+}
+
+// runOneComparison simulates one scheme at one load.
+func runOneComparison(cfg ComparisonConfig, scheme transport.Scheme, load float64) (SchemeRunResult, error) {
+	topo, err := topology.NewTwoTier(topology.DefaultSimConfig())
+	if err != nil {
+		return SchemeRunResult{}, err
+	}
+	horizon := cfg.Warmup + cfg.Duration
+	eng, err := transport.NewEngine(transport.EngineConfig{
+		Scheme:            scheme,
+		Topology:          topo,
+		QueueSamplePeriod: cfg.QueueSamplePeriod,
+		Horizon:           horizon,
+	})
+	if err != nil {
+		return SchemeRunResult{}, err
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Kind:               cfg.Workload,
+		NumServers:         topo.NumServers(),
+		ServerLinkCapacity: topo.Config().LinkCapacity,
+		Load:               load,
+		Seed:               cfg.Seed,
+	})
+	if err != nil {
+		return SchemeRunResult{}, err
+	}
+	flows := gen.GenerateUntil(horizon * 0.9) // leave tail room for completions
+	if err := eng.AddFlowlets(flows); err != nil {
+		return SchemeRunResult{}, err
+	}
+	eng.Run(horizon)
+
+	run := SchemeRunResult{Scheme: scheme, Load: load}
+
+	// FCT statistics over flows that arrived after warmup.
+	var measured []metrics.FlowRecord
+	for _, r := range eng.Records() {
+		if r.Start >= cfg.Warmup {
+			measured = append(measured, r)
+		}
+	}
+	run.Flows = len(measured)
+	run.P99FCTByBucket = metrics.P99ByBucket(measured, workload.BucketLabel)
+	run.CompletionRate = metrics.CompletionRate(measured)
+
+	// Queueing delay over sampled paths (Figure 9).
+	run.P99QueueDelay2Hop, run.P99QueueDelay4Hop = pathQueueDelayP99(eng, topo)
+
+	// Drops (Figure 10).
+	run.DroppedGbps = float64(eng.DroppedBytes()*8) / horizon / 1e9
+
+	// Fairness (Figure 11).
+	run.MeanFairness = metrics.MeanPerFlowFairness(eng.AchievedRates(), 1e3)
+	return run, nil
+}
+
+// pathQueueDelayP99 computes the 99th-percentile summed queueing delay over a
+// sample of 2-hop (intra-rack) and 4-hop (cross-rack) paths.
+func pathQueueDelayP99(eng *transport.Engine, topo *topology.Topology) (twoHop, fourHop float64) {
+	var two, four []float64
+	perRack := topo.Config().ServersPerRack
+	for r := 0; r < topo.NumRacks(); r++ {
+		src := r * perRack
+		// Intra-rack path: first to second server of the rack.
+		if p, err := topo.Route(src, src+1, 0); err == nil {
+			two = append(two, delays(eng, p)...)
+		}
+		// Cross-rack path: first server of this rack to first server of
+		// the next rack.
+		dst := ((r + 1) % topo.NumRacks()) * perRack
+		if p, err := topo.Route(src, dst, src); err == nil {
+			four = append(four, delays(eng, p)...)
+		}
+	}
+	return metrics.Percentile(two, 99), metrics.Percentile(four, 99)
+}
+
+// delays converts a path's queue samples into summed delays.
+func delays(eng *transport.Engine, p topology.Path) []float64 {
+	path := make([]int32, len(p))
+	for i, l := range p {
+		path[i] = int32(l)
+	}
+	return eng.Network().PathQueueDelays(path)
+}
+
+// SpeedupOverFlowtune returns, for each non-Flowtune scheme, load and bucket,
+// the ratio of that scheme's p99 FCT to Flowtune's (values above 1 mean
+// Flowtune is faster), which is what Figure 8 plots.
+func (r *ComparisonResult) SpeedupOverFlowtune() []Fig8Point {
+	flowtune := make(map[float64]map[string]float64)
+	for _, run := range r.Runs {
+		if run.Scheme == transport.Flowtune {
+			flowtune[run.Load] = run.P99FCTByBucket
+		}
+	}
+	var out []Fig8Point
+	for _, run := range r.Runs {
+		if run.Scheme == transport.Flowtune {
+			continue
+		}
+		base, ok := flowtune[run.Load]
+		if !ok {
+			continue
+		}
+		for _, bucket := range workload.Buckets() {
+			ft, ok1 := base[bucket]
+			other, ok2 := run.P99FCTByBucket[bucket]
+			if !ok1 || !ok2 || ft <= 0 {
+				continue
+			}
+			out = append(out, Fig8Point{
+				Scheme:  run.Scheme,
+				Load:    run.Load,
+				Bucket:  bucket,
+				Speedup: other / ft,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		if out[i].Bucket != out[j].Bucket {
+			return out[i].Bucket < out[j].Bucket
+		}
+		return out[i].Load < out[j].Load
+	})
+	return out
+}
+
+// Fig8Point is one bar of Figure 8.
+type Fig8Point struct {
+	Scheme  transport.Scheme
+	Load    float64
+	Bucket  string
+	Speedup float64
+}
+
+// RenderFig8 prints the speedup table.
+func RenderFig8(points []Fig8Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-18s %-10s\n", "scheme", "load", "bucket", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10s %-6.2f %-18s %-10.2f\n", p.Scheme, p.Load, p.Bucket, p.Speedup)
+	}
+	return b.String()
+}
+
+// RenderFig9 prints the queueing-delay comparison.
+func (r *ComparisonResult) RenderFig9() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-20s %-20s\n", "scheme", "load", "p99 2-hop delay (µs)", "p99 4-hop delay (µs)")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-10s %-6.2f %-20.2f %-20.2f\n", run.Scheme, run.Load, run.P99QueueDelay2Hop*1e6, run.P99QueueDelay4Hop*1e6)
+	}
+	return b.String()
+}
+
+// RenderFig10 prints the drop-rate comparison.
+func (r *ComparisonResult) RenderFig10() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-20s\n", "scheme", "load", "dropped (Gbit/s)")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-10s %-6.2f %-20.3f\n", run.Scheme, run.Load, run.DroppedGbps)
+	}
+	return b.String()
+}
+
+// RenderFig11 prints per-flow fairness relative to Flowtune.
+func (r *ComparisonResult) RenderFig11() string {
+	flowtune := make(map[float64]float64)
+	for _, run := range r.Runs {
+		if run.Scheme == transport.Flowtune {
+			flowtune[run.Load] = run.MeanFairness
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-28s\n", "scheme", "load", "fairness relative to Flowtune")
+	for _, run := range r.Runs {
+		if run.Scheme == transport.Flowtune {
+			continue
+		}
+		base, ok := flowtune[run.Load]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-6.2f %-28.2f\n", run.Scheme, run.Load, run.MeanFairness-base)
+	}
+	return b.String()
+}

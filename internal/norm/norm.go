@@ -1,0 +1,112 @@
+// Package norm implements Flowtune's rate normalization (§4): the optimizer
+// works online and may momentarily allocate more than a link's capacity while
+// prices re-converge after flowlet churn; the normalizer scales the rates
+// down so that no link is over-subscribed before they are sent to endpoints.
+// Two schemes from the paper are provided: uniform normalization (U-NORM) and
+// per-flow normalization (F-NORM).
+package norm
+
+import (
+	"repro/internal/num"
+)
+
+// Normalizer scales a set of flow rates so that no link exceeds its capacity.
+type Normalizer interface {
+	// Name returns the scheme's short name ("F-NORM" or "U-NORM").
+	Name() string
+	// Normalize writes the scaled rates into out (allocating when out is
+	// nil or too short) and returns it. rates is not modified.
+	Normalize(p *num.Problem, rates []float64, out []float64) []float64
+}
+
+// ensureOut prepares the output slice.
+func ensureOut(out []float64, n int) []float64 {
+	if cap(out) < n {
+		return make([]float64, n)
+	}
+	return out[:n]
+}
+
+// linkRatios computes r_l = (Σ_{s∈S(l)} x_s) / c_l for every link.
+func linkRatios(p *num.Problem, rates []float64, loads []float64) []float64 {
+	loads = num.LinkLoads(p, rates, loads)
+	for l := range loads {
+		loads[l] /= p.Capacities[l]
+	}
+	return loads
+}
+
+// UNorm is uniform normalization (§4.1): every flow is scaled by the same
+// factor, the utilization ratio of the most congested link, so the relative
+// sizes of flows (and hence the fairness of a proportional-fair allocation)
+// are preserved. Its drawback is that one hot link throttles the entire
+// network's throughput (Figure 13).
+type UNorm struct {
+	ratios []float64
+}
+
+// NewUNorm returns a uniform normalizer.
+func NewUNorm() *UNorm { return &UNorm{} }
+
+// Name implements Normalizer.
+func (u *UNorm) Name() string { return "U-NORM" }
+
+// Normalize implements Normalizer.
+func (u *UNorm) Normalize(p *num.Problem, rates []float64, out []float64) []float64 {
+	out = ensureOut(out, len(rates))
+	u.ratios = linkRatios(p, rates, u.ratios)
+	worst := 0.0
+	for _, r := range u.ratios {
+		if r > worst {
+			worst = r
+		}
+	}
+	if worst <= 1 {
+		// No link over capacity: rates pass through unchanged (the paper
+		// scales *up* to fill the most congested link only when it is
+		// over-allocated; never scale flows above their allocation).
+		copy(out, rates)
+		return out
+	}
+	inv := 1 / worst
+	for i, r := range rates {
+		out[i] = r * inv
+	}
+	return out
+}
+
+// FNorm is per-flow normalization (§4.2): each flow is scaled by the
+// utilization ratio of the most congested link on its own path. Links that
+// are over-allocated only slow the flows that traverse them, so a few hot
+// links do not reduce the whole network's throughput. F-NORM achieves over
+// 99.7% of optimal throughput in the paper (Figure 13) and is Flowtune's
+// default.
+type FNorm struct {
+	ratios []float64
+}
+
+// NewFNorm returns a per-flow normalizer.
+func NewFNorm() *FNorm { return &FNorm{} }
+
+// Name implements Normalizer.
+func (f *FNorm) Name() string { return "F-NORM" }
+
+// Normalize implements Normalizer.
+func (f *FNorm) Normalize(p *num.Problem, rates []float64, out []float64) []float64 {
+	out = ensureOut(out, len(rates))
+	f.ratios = linkRatios(p, rates, f.ratios)
+	for i, flow := range p.Flows {
+		worst := 0.0
+		for _, l := range flow.Route {
+			if r := f.ratios[l]; r > worst {
+				worst = r
+			}
+		}
+		if worst > 1 {
+			out[i] = rates[i] / worst
+		} else {
+			out[i] = rates[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package num
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flow is one flow (flowlet) in a NUM problem: the links it traverses and its
+// utility function.
+type Flow struct {
+	// Route lists the link indices the flow traverses. It must be
+	// non-empty: every flow passes through at least one link.
+	Route []int32
+	// Util is the flow's utility function. Nil means LogUtility{W: 1}.
+	Util Utility
+}
+
+// utility returns the flow's utility, defaulting to proportional fairness.
+func (f Flow) utility() Utility {
+	if f.Util == nil {
+		return LogUtility{W: 1}
+	}
+	return f.Util
+}
+
+// Problem is a static NUM instance: link capacities and a set of flows.
+// Solvers iterate on a State derived from the problem.
+type Problem struct {
+	// Capacities holds the capacity of each link in bits per second.
+	Capacities []float64
+	// Flows is the set of flows to allocate.
+	Flows []Flow
+	// MaxFlowRate caps each flow's rate in the rate-update step, modelling
+	// the fact that an endpoint cannot send faster than its NIC. Zero
+	// means no cap. Without a cap, a flow arriving on links whose prices
+	// have decayed to zero would momentarily be allocated an unphysical
+	// rate, grossly inflating the over-allocation the normalizer has to
+	// absorb.
+	MaxFlowRate float64
+}
+
+// Validate checks that all routes reference valid links and capacities are
+// positive.
+func (p *Problem) Validate() error {
+	for i, c := range p.Capacities {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("num: link %d has invalid capacity %g", i, c)
+		}
+	}
+	for i, f := range p.Flows {
+		if len(f.Route) == 0 {
+			return fmt.Errorf("num: flow %d has an empty route", i)
+		}
+		for _, l := range f.Route {
+			if l < 0 || int(l) >= len(p.Capacities) {
+				return fmt.Errorf("num: flow %d references link %d, but there are only %d links", i, l, len(p.Capacities))
+			}
+		}
+	}
+	return nil
+}
+
+// State is the mutable solver state for a Problem: link prices and flow
+// rates. Prices persist across flow churn (the optimizer warm-starts from the
+// previous prices, §4), which is why State is separate from Problem.
+type State struct {
+	// Prices holds the dual variable (price) of each link.
+	Prices []float64
+	// Rates holds the current rate of each flow in bits per second.
+	Rates []float64
+}
+
+// NewState creates a State with all link prices initialized to 1 (the paper's
+// initialization, §3) and all rates zero. The rates are filled in by the
+// first solver iteration.
+func NewState(p *Problem) *State {
+	st := &State{
+		Prices: make([]float64, len(p.Capacities)),
+		Rates:  make([]float64, len(p.Flows)),
+	}
+	for i := range st.Prices {
+		st.Prices[i] = 1
+	}
+	return st
+}
+
+// Resize adjusts the Rates slice to match a changed flow count, preserving
+// prices. New flows start with rate zero.
+func (s *State) Resize(numFlows int) {
+	if cap(s.Rates) >= numFlows {
+		s.Rates = s.Rates[:numFlows]
+	} else {
+		r := make([]float64, numFlows)
+		copy(r, s.Rates)
+		s.Rates = r
+	}
+}
+
+// PathPrice returns the sum of prices along a route.
+func (s *State) PathPrice(route []int32) float64 {
+	sum := 0.0
+	for _, l := range route {
+		sum += s.Prices[l]
+	}
+	return sum
+}
+
+// LinkLoads returns the total allocated rate on each link given the current
+// per-flow rates.
+func LinkLoads(p *Problem, rates []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(p.Capacities))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for i, f := range p.Flows {
+		for _, l := range f.Route {
+			out[l] += rates[i]
+		}
+	}
+	return out
+}
+
+// OverAllocation returns the total amount by which link loads exceed their
+// capacities, summed over all links, in bits per second. This is the metric
+// plotted in Figure 12.
+func OverAllocation(p *Problem, rates []float64) float64 {
+	loads := LinkLoads(p, rates, nil)
+	over := 0.0
+	for l, load := range loads {
+		if excess := load - p.Capacities[l]; excess > 0 {
+			over += excess
+		}
+	}
+	return over
+}
+
+// Objective returns the NUM objective Σ U_s(x_s) for the given rates.
+func Objective(p *Problem, rates []float64) float64 {
+	sum := 0.0
+	for i, f := range p.Flows {
+		sum += f.utility().Value(rates[i])
+	}
+	return sum
+}
+
+// TotalThroughput returns the sum of flow rates in bits per second.
+func TotalThroughput(rates []float64) float64 {
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	return sum
+}
+
+// MaxLinkUtilization returns the maximum ratio of link load to capacity.
+func MaxLinkUtilization(p *Problem, rates []float64) float64 {
+	loads := LinkLoads(p, rates, nil)
+	max := 0.0
+	for l, load := range loads {
+		if u := load / p.Capacities[l]; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// Feasible reports whether the rates satisfy every link capacity constraint
+// within a relative tolerance tol (e.g. 1e-9).
+func Feasible(p *Problem, rates []float64, tol float64) bool {
+	loads := LinkLoads(p, rates, nil)
+	for l, load := range loads {
+		if load > p.Capacities[l]*(1+tol) {
+			return false
+		}
+	}
+	return true
+}

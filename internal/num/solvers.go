@@ -1,0 +1,408 @@
+package num
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver performs one iteration of a NUM price-update algorithm. All solvers
+// follow the same two-phase iteration structure as Algorithm 1: a rate-update
+// step that sets each flow's rate from the current prices, followed by a
+// price-update step that adjusts each link's price from the resulting
+// over-allocation G_l; they differ in how the price step is scaled.
+type Solver interface {
+	// Name returns the solver's short name for reports ("NED",
+	// "Gradient", ...).
+	Name() string
+	// Step performs one full iteration (rate update + price update) on
+	// the problem, mutating st in place.
+	Step(p *Problem, st *State)
+}
+
+// scratch holds per-iteration working buffers shared by solvers to avoid
+// reallocating on every step.
+type scratch struct {
+	loads  []float64 // per-link aggregate rate
+	hdiag  []float64 // per-link Hessian diagonal H_ll
+	prices []float64 // per-flow path price sums (only for measurement solvers)
+}
+
+func (s *scratch) ensure(numLinks int) {
+	if cap(s.loads) < numLinks {
+		s.loads = make([]float64, numLinks)
+		s.hdiag = make([]float64, numLinks)
+	}
+	s.loads = s.loads[:numLinks]
+	s.hdiag = s.hdiag[:numLinks]
+}
+
+// rateUpdate performs Equation 3: x_s = (U'_s)⁻¹(Σ_{l∈L(s)} p_l). It also
+// accumulates per-link loads and, when hessian is true, the exact Hessian
+// diagonal H_ll = Σ_{s∈S(l)} ∂x_s/∂p_l used by NED.
+//
+// minPrice clamps the path price away from zero so log-utility rates stay
+// finite when all prices on a path drop to zero.
+func rateUpdate(p *Problem, st *State, sc *scratch, hessian bool, minPrice float64) {
+	sc.ensure(len(p.Capacities))
+	for i := range sc.loads {
+		sc.loads[i] = 0
+		sc.hdiag[i] = 0
+	}
+	for i, f := range p.Flows {
+		ps := st.PathPrice(f.Route)
+		if ps < minPrice {
+			ps = minPrice
+		}
+		u := f.utility()
+		x := u.Rate(ps)
+		if p.MaxFlowRate > 0 && x > p.MaxFlowRate {
+			x = p.MaxFlowRate
+		}
+		st.Rates[i] = x
+		if hessian {
+			d := u.RateDeriv(ps)
+			for _, l := range f.Route {
+				sc.loads[l] += x
+				sc.hdiag[l] += d
+			}
+		} else {
+			for _, l := range f.Route {
+				sc.loads[l] += x
+			}
+		}
+	}
+}
+
+// minPathPrice is the floor on path prices used by all solvers to keep rates
+// finite. With 10-400 Gbit/s links, a price of 1e-12 allows rates up to
+// 1e12·w bits/s, far above any link capacity, so the floor never binds at the
+// optimum.
+const minPathPrice = 1e-12
+
+// NED is the Newton-Exact-Diagonal solver (Algorithm 1): the price update is
+// scaled by the exactly computed Hessian diagonal,
+//
+//	p_l ← max(0, p_l − γ·G_l/H_ll)
+//
+// where G_l is the link's over-allocation and H_ll = Σ ∂x_s/∂p_l (negative),
+// so over-allocated links raise their price proportionally to how strongly
+// flows will react.
+type NED struct {
+	// Gamma is the step-size parameter γ; the paper uses values in
+	// [0.2, 1.5] and defaults to 0.4 in simulations, 1.0 in analysis.
+	Gamma float64
+	// RT enables the reduced-precision "real-time" variant (NED-RT in
+	// Figure 12): single-precision arithmetic and a fast reciprocal
+	// approximation in the price update.
+	RT bool
+
+	sc scratch
+}
+
+// NewNED returns a NED solver with the default γ=1 step size.
+func NewNED() *NED { return &NED{Gamma: 1} }
+
+// Name implements Solver.
+func (n *NED) Name() string {
+	if n.RT {
+		return "NED-RT"
+	}
+	return "NED"
+}
+
+// Step implements Solver.
+func (n *NED) Step(p *Problem, st *State) {
+	gamma := n.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	rateUpdate(p, st, &n.sc, true, minPathPrice)
+	for l := range st.Prices {
+		g := n.sc.loads[l] - p.Capacities[l]
+		h := n.sc.hdiag[l]
+		if h == 0 {
+			// No flows traverse the link: decay its price so the next
+			// flowlet to use it is not throttled by a stale price.
+			st.Prices[l] *= 0.5
+			continue
+		}
+		var delta float64
+		if n.RT {
+			delta = float64(float32(gamma) * float32(g) / float32(h))
+		} else {
+			delta = gamma * g / h
+		}
+		price := st.Prices[l] - delta
+		if price < 0 {
+			price = 0
+		}
+		if n.RT {
+			price = float64(float32(price))
+		}
+		st.Prices[l] = price
+	}
+}
+
+// Gradient is the gradient-projection solver (Low & Lapsley): prices move
+// proportionally to the link's relative over-allocation,
+// p_l ← max(0, p_l + γ·G_l/c_l). Because the step is not scaled by how
+// sensitive flows actually are to the price (the Hessian), γ must be chosen
+// conservatively, which makes the method slow to converge compared with NED
+// and prone to sluggish reactions to churn.
+//
+// Prices are meaningful only when flow weights are on the same scale as link
+// capacities (the convention used throughout this repository: weight = w ×
+// link capacity), so that the optimal prices are O(1) like their initial
+// value.
+type Gradient struct {
+	// Gamma is the dimensionless step size applied to the relative
+	// over-allocation G_l/c_l (default 0.5).
+	Gamma float64
+	// RT enables the reduced-precision variant (Gradient-RT).
+	RT bool
+
+	sc scratch
+}
+
+// NewGradient returns a gradient-projection solver with the default step.
+func NewGradient() *Gradient { return &Gradient{Gamma: 0.5} }
+
+// Name implements Solver.
+func (g *Gradient) Name() string {
+	if g.RT {
+		return "Gradient-RT"
+	}
+	return "Gradient"
+}
+
+// Step implements Solver.
+func (g *Gradient) Step(p *Problem, st *State) {
+	gamma := g.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	rateUpdate(p, st, &g.sc, false, minPathPrice)
+	for l := range st.Prices {
+		over := (g.sc.loads[l] - p.Capacities[l]) / p.Capacities[l]
+		var delta float64
+		if g.RT {
+			delta = float64(float32(gamma) * float32(over))
+		} else {
+			delta = gamma * over
+		}
+		price := st.Prices[l] + delta
+		if price < 0 {
+			price = 0
+		}
+		st.Prices[l] = price
+	}
+}
+
+// FGM is the Fast weighted Gradient Method (Beck et al. 2014): an accelerated
+// gradient method whose step is scaled by a crude upper bound on the utility
+// curvature rather than the exact Hessian diagonal, with Nesterov-style
+// momentum on the prices. The paper observes that FGM "does not handle the
+// stream of updates well" — under churn the momentum term keeps pushing
+// prices and the allocations become unrealistic; Figure 12 shows this.
+type FGM struct {
+	// Gamma scales the gradient step (default 1).
+	Gamma float64
+
+	lip     []float64 // per-link crude curvature bound
+	prev    []float64 // previous prices, for the momentum term
+	tk      float64   // Nesterov momentum sequence value
+	sc      scratch
+	started bool
+}
+
+// NewFGM returns an FGM solver.
+func NewFGM() *FGM { return &FGM{Gamma: 1} }
+
+// Name implements Solver.
+func (f *FGM) Name() string { return "FGM" }
+
+// estimateLipschitz computes a crude per-link curvature bound: the number of
+// flows sharing the link times the largest |RateDeriv| at the initial price
+// of 1. This mirrors FGM's use of a worst-case constant instead of the exact
+// per-iteration values NED computes; the bound goes stale as prices move and
+// as flowlets churn, which is the source of its misbehaviour in Figure 12.
+func (f *FGM) estimateLipschitz(p *Problem) []float64 {
+	share := make([]float64, len(p.Capacities))
+	maxDeriv := 1.0
+	for _, fl := range p.Flows {
+		if d := math.Abs(fl.utility().RateDeriv(1)); d > maxDeriv {
+			maxDeriv = d
+		}
+		for _, l := range fl.Route {
+			share[l]++
+		}
+	}
+	for l := range share {
+		if share[l] == 0 {
+			share[l] = 1
+		}
+		share[l] *= maxDeriv
+	}
+	return share
+}
+
+// Step implements Solver.
+func (f *FGM) Step(p *Problem, st *State) {
+	gamma := f.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	if !f.started || len(f.prev) != len(st.Prices) {
+		f.lip = f.estimateLipschitz(p)
+		f.prev = append(f.prev[:0], st.Prices...)
+		f.tk = 1
+		f.started = true
+	}
+	rateUpdate(p, st, &f.sc, false, minPathPrice)
+
+	tNext := (1 + math.Sqrt(1+4*f.tk*f.tk)) / 2
+	momentum := (f.tk - 1) / tNext
+	f.tk = tNext
+
+	for l := range st.Prices {
+		over := f.sc.loads[l] - p.Capacities[l]
+		grad := gamma * over / f.lip[l]
+		// Gradient step from the extrapolated point, then projection.
+		extrap := st.Prices[l] + momentum*(st.Prices[l]-f.prev[l])
+		price := extrap + grad
+		if price < 0 {
+			price = 0
+		}
+		f.prev[l] = st.Prices[l]
+		st.Prices[l] = price
+	}
+}
+
+// NewtonLike is the measurement-based Newton-like method (Athuraliya & Low
+// 2000): instead of computing H_ll exactly it estimates flow sensitivity by
+// observing how the aggregate link load changed in response to the previous
+// price change, averaged over a measurement window. The estimate lags the
+// network and carries error, which is why the paper found the method slow and
+// sometimes unstable.
+type NewtonLike struct {
+	// Gamma is the step size (default 0.5).
+	Gamma float64
+	// Window is the exponential averaging weight of the sensitivity
+	// estimate in (0,1]; smaller values average over longer intervals.
+	Window float64
+
+	prevLoads  []float64
+	prevPrices []float64
+	estimate   []float64
+	sc         scratch
+	started    bool
+}
+
+// NewNewtonLike returns a Newton-like solver with the defaults used in the
+// comparison experiments.
+func NewNewtonLike() *NewtonLike { return &NewtonLike{Gamma: 0.5, Window: 0.25} }
+
+// Name implements Solver.
+func (n *NewtonLike) Name() string { return "Newton-like" }
+
+// Step implements Solver.
+func (n *NewtonLike) Step(p *Problem, st *State) {
+	gamma := n.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	window := n.Window
+	if window == 0 {
+		window = 0.25
+	}
+	rateUpdate(p, st, &n.sc, false, minPathPrice)
+
+	numLinks := len(p.Capacities)
+	if !n.started || len(n.estimate) != numLinks {
+		n.prevLoads = make([]float64, numLinks)
+		n.prevPrices = make([]float64, numLinks)
+		n.estimate = make([]float64, numLinks)
+		copy(n.prevLoads, n.sc.loads)
+		copy(n.prevPrices, st.Prices)
+		n.started = true
+		// First iteration: fall back to a gentle gradient step.
+		for l := range st.Prices {
+			price := st.Prices[l] + 0.05*(n.sc.loads[l]-p.Capacities[l])/p.Capacities[l]
+			if price < 0 {
+				price = 0
+			}
+			st.Prices[l] = price
+		}
+		return
+	}
+
+	for l := range st.Prices {
+		dPrice := st.Prices[l] - n.prevPrices[l]
+		dLoad := n.sc.loads[l] - n.prevLoads[l]
+		if math.Abs(dPrice) > 1e-15 {
+			obs := dLoad / dPrice // observed sensitivity (negative when stable)
+			n.estimate[l] = (1-window)*n.estimate[l] + window*obs
+		}
+		n.prevLoads[l] = n.sc.loads[l]
+		n.prevPrices[l] = st.Prices[l]
+
+		g := n.sc.loads[l] - p.Capacities[l]
+		est := n.estimate[l]
+		var price float64
+		if est < -1e-15 {
+			price = st.Prices[l] - gamma*g/est
+		} else {
+			// No reliable estimate yet: gentle gradient step.
+			price = st.Prices[l] + 0.05*g/p.Capacities[l]
+		}
+		if price < 0 {
+			price = 0
+		}
+		st.Prices[l] = price
+	}
+}
+
+// SolveOptions configures Solve.
+type SolveOptions struct {
+	// MaxIterations bounds the number of solver steps (default 10000).
+	MaxIterations int
+	// Tolerance is the relative convergence tolerance on the maximum
+	// price change between iterations (default 1e-9).
+	Tolerance float64
+}
+
+// Solve iterates a solver until the prices stop changing (relative change
+// below tol) or maxIter is reached, and returns the number of iterations
+// executed. It is used to obtain reference optimal allocations (e.g. the
+// denominator of Figure 13) and by the convergence tests.
+func Solve(s Solver, p *Problem, st *State, opts SolveOptions) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 10000
+	}
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 1e-9
+	}
+	st.Resize(len(p.Flows))
+	prev := make([]float64, len(st.Prices))
+	for iter := 1; iter <= maxIter; iter++ {
+		copy(prev, st.Prices)
+		s.Step(p, st)
+		maxChange := 0.0
+		for l := range st.Prices {
+			denom := math.Max(math.Abs(prev[l]), 1e-12)
+			change := math.Abs(st.Prices[l]-prev[l]) / denom
+			if change > maxChange {
+				maxChange = change
+			}
+		}
+		if maxChange < tol {
+			return iter, nil
+		}
+	}
+	return maxIter, fmt.Errorf("num: %s did not converge within %d iterations", s.Name(), maxIter)
+}

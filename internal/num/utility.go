@@ -1,0 +1,110 @@
+// Package num implements the Network Utility Maximization (NUM) machinery at
+// the heart of Flowtune's rate allocator (§3 of the paper): flow utility
+// functions, the price-based dual decomposition, and the price-update
+// algorithms compared in the paper — Newton-Exact-Diagonal (NED), Gradient
+// projection, the Fast weighted Gradient Method (FGM), and the measurement
+// based Newton-like method — together with their reduced-precision "RT"
+// variants.
+package num
+
+import (
+	"fmt"
+	"math"
+)
+
+// Utility is a flow utility function U(x) of the flow's allocated rate x.
+// NED admits any strictly concave, differentiable, monotonically increasing
+// utility; the interface exposes the pieces the optimizer needs: the inverse
+// marginal utility (U')⁻¹ used in the rate-update step (Equation 3), and its
+// derivative used to compute the exact Hessian diagonal H_ll (Equation 4).
+type Utility interface {
+	// Value returns U(x).
+	Value(x float64) float64
+	// Rate returns (U')⁻¹(p): the rate a flow chooses when the sum of the
+	// prices along its path is p.
+	Rate(priceSum float64) float64
+	// RateDeriv returns d/dp (U')⁻¹(p): how the chosen rate reacts to a
+	// change in path price. It is negative for concave utilities.
+	RateDeriv(priceSum float64) float64
+}
+
+// LogUtility is the weighted logarithmic utility U(x) = w·log(x), which makes
+// the NUM objective weighted proportional fairness (§3). It is the utility
+// used throughout the paper's evaluation.
+type LogUtility struct {
+	// W is the flow weight; it must be positive. NewLogUtility returns the
+	// canonical w=1 utility.
+	W float64
+}
+
+// NewLogUtility returns the unweighted proportional-fairness utility.
+func NewLogUtility() LogUtility { return LogUtility{W: 1} }
+
+// Value returns w·log(x).
+func (u LogUtility) Value(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return u.W * math.Log(x)
+}
+
+// Rate returns w/p, the profit-maximizing rate at path price p.
+func (u LogUtility) Rate(priceSum float64) float64 {
+	if priceSum <= 0 {
+		return math.Inf(1)
+	}
+	return u.W / priceSum
+}
+
+// RateDeriv returns -w/p².
+func (u LogUtility) RateDeriv(priceSum float64) float64 {
+	if priceSum <= 0 {
+		return math.Inf(-1)
+	}
+	return -u.W / (priceSum * priceSum)
+}
+
+// AlphaFairUtility is the family of α-fair utilities
+// U(x) = w·x^(1-α)/(1-α) for α ≠ 1 (α=1 is LogUtility). α=2 approximates
+// minimum potential delay fairness; α→∞ approaches max-min fairness.
+type AlphaFairUtility struct {
+	// W is the flow weight (positive).
+	W float64
+	// Alpha is the fairness parameter (positive, ≠ 1).
+	Alpha float64
+}
+
+// NewAlphaFair builds an α-fair utility, validating its parameters.
+func NewAlphaFair(w, alpha float64) (AlphaFairUtility, error) {
+	if w <= 0 {
+		return AlphaFairUtility{}, fmt.Errorf("num: alpha-fair weight must be positive, got %g", w)
+	}
+	if alpha <= 0 || alpha == 1 {
+		return AlphaFairUtility{}, fmt.Errorf("num: alpha must be positive and != 1 (use LogUtility for alpha=1), got %g", alpha)
+	}
+	return AlphaFairUtility{W: w, Alpha: alpha}, nil
+}
+
+// Value returns w·x^(1-α)/(1-α).
+func (u AlphaFairUtility) Value(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return u.W * math.Pow(x, 1-u.Alpha) / (1 - u.Alpha)
+}
+
+// Rate returns (w/p)^(1/α).
+func (u AlphaFairUtility) Rate(priceSum float64) float64 {
+	if priceSum <= 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(u.W/priceSum, 1/u.Alpha)
+}
+
+// RateDeriv returns d/dp (w/p)^(1/α) = -(1/α)·(w/p)^(1/α)/p.
+func (u AlphaFairUtility) RateDeriv(priceSum float64) float64 {
+	if priceSum <= 0 {
+		return math.Inf(-1)
+	}
+	return -math.Pow(u.W/priceSum, 1/u.Alpha) / (u.Alpha * priceSum)
+}

@@ -1,0 +1,129 @@
+package num
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogUtilityValue(t *testing.T) {
+	u := LogUtility{W: 2}
+	if got := u.Value(math.E); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Value(e) = %g, want 2", got)
+	}
+	if !math.IsInf(u.Value(0), -1) {
+		t.Error("Value(0) should be -Inf")
+	}
+	if !math.IsInf(u.Value(-1), -1) {
+		t.Error("Value(-1) should be -Inf")
+	}
+}
+
+func TestLogUtilityRateInverse(t *testing.T) {
+	// Rate(p) must be the inverse of the marginal utility U'(x)=w/x.
+	u := LogUtility{W: 3}
+	for _, x := range []float64{0.5, 1, 10, 1e9} {
+		price := u.W / x // U'(x)
+		if got := u.Rate(price); math.Abs(got-x)/x > 1e-12 {
+			t.Errorf("Rate(U'(%g)) = %g, want %g", x, got, x)
+		}
+	}
+	if !math.IsInf(u.Rate(0), 1) {
+		t.Error("Rate(0) should be +Inf")
+	}
+}
+
+func TestLogUtilityRateDeriv(t *testing.T) {
+	u := NewLogUtility()
+	// Numerical derivative check.
+	for _, p := range []float64{0.1, 1, 5} {
+		const h = 1e-7
+		numeric := (u.Rate(p+h) - u.Rate(p-h)) / (2 * h)
+		analytic := u.RateDeriv(p)
+		if math.Abs(numeric-analytic)/math.Abs(analytic) > 1e-4 {
+			t.Errorf("RateDeriv(%g) = %g, numeric %g", p, analytic, numeric)
+		}
+		if analytic >= 0 {
+			t.Errorf("RateDeriv(%g) = %g, want negative", p, analytic)
+		}
+	}
+}
+
+func TestAlphaFairValidation(t *testing.T) {
+	if _, err := NewAlphaFair(0, 2); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewAlphaFair(1, 1); err == nil {
+		t.Error("alpha=1 accepted (should use LogUtility)")
+	}
+	if _, err := NewAlphaFair(1, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewAlphaFair(1, 2); err != nil {
+		t.Errorf("valid alpha-fair rejected: %v", err)
+	}
+}
+
+func TestAlphaFairRateInverse(t *testing.T) {
+	u, err := NewAlphaFair(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U'(x) = w·x^(-α); Rate must invert it.
+	for _, x := range []float64{0.5, 1, 4, 100} {
+		price := u.W * math.Pow(x, -u.Alpha)
+		if got := u.Rate(price); math.Abs(got-x)/x > 1e-10 {
+			t.Errorf("Rate(U'(%g)) = %g, want %g", x, got, x)
+		}
+	}
+}
+
+func TestAlphaFairRateDeriv(t *testing.T) {
+	u, err := NewAlphaFair(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 1, 2} {
+		const h = 1e-7
+		numeric := (u.Rate(p+h) - u.Rate(p-h)) / (2 * h)
+		analytic := u.RateDeriv(p)
+		if math.Abs(numeric-analytic)/math.Abs(analytic) > 1e-4 {
+			t.Errorf("RateDeriv(%g) = %g, numeric %g", p, analytic, numeric)
+		}
+	}
+}
+
+// TestUtilityConcavityProperty: for random prices p1 < p2, Rate must be
+// decreasing (concave utility => decreasing inverse marginal utility).
+func TestUtilityConcavityProperty(t *testing.T) {
+	alpha, _ := NewAlphaFair(1.5, 2)
+	utils := []Utility{NewLogUtility(), LogUtility{W: 7}, alpha}
+	prop := func(a, b uint16) bool {
+		p1 := float64(a%1000+1) / 100
+		p2 := p1 + float64(b%1000+1)/100
+		for _, u := range utils {
+			if u.Rate(p1) < u.Rate(p2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaFairValueSign(t *testing.T) {
+	u, _ := NewAlphaFair(1, 2)
+	// For alpha=2, U(x) = -1/x: negative, increasing.
+	if u.Value(1) >= 0 {
+		t.Errorf("alpha=2 utility at 1 should be negative, got %g", u.Value(1))
+	}
+	if u.Value(2) <= u.Value(1) {
+		t.Error("utility should be increasing")
+	}
+	if !math.IsInf(u.Value(0), -1) {
+		t.Error("Value(0) should be -Inf")
+	}
+}

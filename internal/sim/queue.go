@@ -1,0 +1,160 @@
+package sim
+
+// Queue is an output queue discipline attached to a link. Implementations
+// report every dropped packet (whether the arriving packet or a victim
+// already queued) through the drop handler installed with SetDropHandler.
+type Queue interface {
+	// Enqueue offers a packet to the queue at the given time. The packet
+	// may be accepted, marked, or dropped.
+	Enqueue(p *Packet, now Time)
+	// Dequeue removes the next packet to transmit. Queues that drop at
+	// dequeue time (CoDel) may report drops and return a later packet.
+	Dequeue(now Time) (*Packet, bool)
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes (wire bytes).
+	Bytes() int
+	// SetDropHandler installs the callback invoked for every drop.
+	SetDropHandler(func(*Packet))
+}
+
+// DropTailQueue is a FIFO queue with a byte limit and optional ECN marking:
+// packets from ECN-capable transports are marked when the queue length at
+// enqueue time is at or above MarkThresholdBytes (DCTCP's single-threshold
+// marking).
+type DropTailQueue struct {
+	// LimitBytes is the maximum queued bytes before arriving packets are
+	// dropped.
+	LimitBytes int
+	// MarkThresholdBytes enables ECN marking when positive.
+	MarkThresholdBytes int
+
+	pkts   []*Packet
+	bytes  int
+	onDrop func(*Packet)
+}
+
+// NewDropTailQueue creates a FIFO queue with the given byte limit.
+func NewDropTailQueue(limitBytes int) *DropTailQueue {
+	return &DropTailQueue{LimitBytes: limitBytes}
+}
+
+// NewECNQueue creates a FIFO queue with DCTCP-style marking at markBytes.
+func NewECNQueue(limitBytes, markBytes int) *DropTailQueue {
+	return &DropTailQueue{LimitBytes: limitBytes, MarkThresholdBytes: markBytes}
+}
+
+// SetDropHandler implements Queue.
+func (q *DropTailQueue) SetDropHandler(fn func(*Packet)) { q.onDrop = fn }
+
+// Enqueue implements Queue.
+func (q *DropTailQueue) Enqueue(p *Packet, now Time) {
+	if q.bytes+p.WireBytes > q.LimitBytes {
+		if q.onDrop != nil {
+			q.onDrop(p)
+		}
+		return
+	}
+	if q.MarkThresholdBytes > 0 && p.ECNCapable && q.bytes >= q.MarkThresholdBytes {
+		p.ECNMarked = true
+	}
+	p.EnqueuedAt = now
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.WireBytes
+}
+
+// Dequeue implements Queue.
+func (q *DropTailQueue) Dequeue(now Time) (*Packet, bool) {
+	if len(q.pkts) == 0 {
+		return nil, false
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= p.WireBytes
+	return p, true
+}
+
+// Len implements Queue.
+func (q *DropTailQueue) Len() int { return len(q.pkts) }
+
+// Bytes implements Queue.
+func (q *DropTailQueue) Bytes() int { return q.bytes }
+
+// PFabricQueue implements pFabric's switch behaviour: a small queue in which
+// packets are dequeued in order of priority (fewest remaining bytes first)
+// and, when the queue is full, the packet with the largest remaining bytes —
+// possibly the arriving one — is dropped.
+type PFabricQueue struct {
+	// LimitBytes is the (small) per-port buffer, roughly 2 bandwidth-delay
+	// products in the pFabric paper.
+	LimitBytes int
+
+	pkts   []*Packet
+	bytes  int
+	onDrop func(*Packet)
+}
+
+// NewPFabricQueue creates a pFabric priority queue with the given buffer.
+func NewPFabricQueue(limitBytes int) *PFabricQueue {
+	return &PFabricQueue{LimitBytes: limitBytes}
+}
+
+// SetDropHandler implements Queue.
+func (q *PFabricQueue) SetDropHandler(fn func(*Packet)) { q.onDrop = fn }
+
+// Enqueue implements Queue.
+func (q *PFabricQueue) Enqueue(p *Packet, now Time) {
+	p.EnqueuedAt = now
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.WireBytes
+	for q.bytes > q.LimitBytes && len(q.pkts) > 1 {
+		// Drop the packet with the largest remaining flow size. Control
+		// and ACK packets carry priority 0 and are never the victim while
+		// data packets are present.
+		victim := 0
+		for i, c := range q.pkts {
+			if c.Priority > q.pkts[victim].Priority {
+				victim = i
+			}
+		}
+		v := q.pkts[victim]
+		q.pkts = append(q.pkts[:victim], q.pkts[victim+1:]...)
+		q.bytes -= v.WireBytes
+		if q.onDrop != nil {
+			q.onDrop(v)
+		}
+	}
+	if q.bytes > q.LimitBytes && len(q.pkts) == 1 {
+		v := q.pkts[0]
+		q.pkts = q.pkts[:0]
+		q.bytes = 0
+		if q.onDrop != nil {
+			q.onDrop(v)
+		}
+	}
+}
+
+// Dequeue implements Queue: the packet with the smallest remaining flow size
+// is sent first; ties break in FIFO order.
+func (q *PFabricQueue) Dequeue(now Time) (*Packet, bool) {
+	if len(q.pkts) == 0 {
+		return nil, false
+	}
+	best := 0
+	for i, c := range q.pkts {
+		if c.Priority < q.pkts[best].Priority {
+			best = i
+		}
+	}
+	p := q.pkts[best]
+	q.pkts = append(q.pkts[:best], q.pkts[best+1:]...)
+	q.bytes -= p.WireBytes
+	return p, true
+}
+
+// Len implements Queue.
+func (q *PFabricQueue) Len() int { return len(q.pkts) }
+
+// Bytes implements Queue.
+func (q *PFabricQueue) Bytes() int { return q.bytes }

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+)
+
+func dataPacket(flow int64, bytes int, priority float64) *Packet {
+	return &Packet{Flow: flow, Kind: Data, PayloadBytes: bytes - HeaderBytes, WireBytes: bytes, Priority: priority}
+}
+
+func TestDropTailFIFO(t *testing.T) {
+	q := NewDropTailQueue(10000)
+	var dropped []*Packet
+	q.SetDropHandler(func(p *Packet) { dropped = append(dropped, p) })
+	p1 := dataPacket(1, 1000, 0)
+	p2 := dataPacket(2, 1000, 0)
+	q.Enqueue(p1, 0)
+	q.Enqueue(p2, 0)
+	if q.Len() != 2 || q.Bytes() != 2000 {
+		t.Fatalf("Len=%d Bytes=%d", q.Len(), q.Bytes())
+	}
+	got1, _ := q.Dequeue(0)
+	got2, _ := q.Dequeue(0)
+	if got1 != p1 || got2 != p2 {
+		t.Error("not FIFO")
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Error("dequeue from empty queue succeeded")
+	}
+	if len(dropped) != 0 {
+		t.Error("unexpected drops")
+	}
+}
+
+func TestDropTailLimit(t *testing.T) {
+	q := NewDropTailQueue(2500)
+	var dropped []*Packet
+	q.SetDropHandler(func(p *Packet) { dropped = append(dropped, p) })
+	q.Enqueue(dataPacket(1, 1000, 0), 0)
+	q.Enqueue(dataPacket(2, 1000, 0), 0)
+	victim := dataPacket(3, 1000, 0)
+	q.Enqueue(victim, 0)
+	if len(dropped) != 1 || dropped[0] != victim {
+		t.Errorf("expected the arriving packet to be dropped, got %v", dropped)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	q := NewECNQueue(100000, 2000)
+	// Below threshold: no mark.
+	p1 := dataPacket(1, 1000, 0)
+	p1.ECNCapable = true
+	q.Enqueue(p1, 0)
+	if p1.ECNMarked {
+		t.Error("packet marked below threshold")
+	}
+	q.Enqueue(dataPacket(2, 1500, 0), 0)
+	// Queue now holds 2500 >= 2000 bytes: next ECN-capable packet is marked.
+	p3 := dataPacket(3, 1000, 0)
+	p3.ECNCapable = true
+	q.Enqueue(p3, 0)
+	if !p3.ECNMarked {
+		t.Error("packet not marked above threshold")
+	}
+	// Non-ECN-capable packets are never marked.
+	p4 := dataPacket(4, 1000, 0)
+	q.Enqueue(p4, 0)
+	if p4.ECNMarked {
+		t.Error("non-capable packet marked")
+	}
+}
+
+func TestPFabricPriorityDequeue(t *testing.T) {
+	q := NewPFabricQueue(100000)
+	big := dataPacket(1, 1500, 1e6)
+	small := dataPacket(2, 1500, 100)
+	medium := dataPacket(3, 1500, 1000)
+	q.Enqueue(big, 0)
+	q.Enqueue(small, 0)
+	q.Enqueue(medium, 0)
+	want := []*Packet{small, medium, big}
+	for i, w := range want {
+		got, ok := q.Dequeue(0)
+		if !ok || got != w {
+			t.Fatalf("dequeue %d: got %v, want flow %d", i, got.Flow, w.Flow)
+		}
+	}
+}
+
+func TestPFabricDropsLargestRemaining(t *testing.T) {
+	q := NewPFabricQueue(3200)
+	var dropped []*Packet
+	q.SetDropHandler(func(p *Packet) { dropped = append(dropped, p) })
+	small := dataPacket(1, 1500, 10)
+	big := dataPacket(2, 1500, 1e9)
+	q.Enqueue(small, 0)
+	q.Enqueue(big, 0)
+	// Queue is full (3000 of 3200); a new higher-priority (smaller
+	// remaining) packet evicts the big flow's packet, not itself.
+	urgent := dataPacket(3, 1500, 5)
+	q.Enqueue(urgent, 0)
+	if len(dropped) != 1 || dropped[0] != big {
+		t.Fatalf("expected the largest-remaining packet to be dropped, got %+v", dropped)
+	}
+	got, _ := q.Dequeue(0)
+	if got != urgent {
+		t.Errorf("most urgent packet should dequeue first")
+	}
+}
+
+func TestPFabricTieFIFO(t *testing.T) {
+	q := NewPFabricQueue(100000)
+	a := dataPacket(1, 1500, 50)
+	b := dataPacket(2, 1500, 50)
+	q.Enqueue(a, 0)
+	q.Enqueue(b, 0)
+	got, _ := q.Dequeue(0)
+	if got != a {
+		t.Error("equal priorities should dequeue FIFO")
+	}
+}
+
+func TestSFQCoDelFairness(t *testing.T) {
+	q := NewSFQCoDelQueue(1<<20, 10e9)
+	// Flow 1 floods the queue; flow 2 sends a little. DRR should interleave
+	// them rather than serving flow 1's backlog first.
+	for i := 0; i < 20; i++ {
+		q.Enqueue(dataPacket(1, 1500, 0), 0)
+	}
+	for i := 0; i < 3; i++ {
+		q.Enqueue(dataPacket(2, 1500, 0), 0)
+	}
+	if q.Len() != 23 {
+		t.Fatalf("Len = %d, want 23", q.Len())
+	}
+	flow2Seen := 0
+	for i := 0; i < 6; i++ {
+		p, ok := q.Dequeue(0)
+		if !ok {
+			t.Fatal("queue empty too early")
+		}
+		if p.Flow == 2 {
+			flow2Seen++
+		}
+	}
+	if flow2Seen == 0 {
+		t.Error("DRR did not interleave the small flow within the first 6 packets")
+	}
+}
+
+func TestSFQCoDelDropsPersistentQueue(t *testing.T) {
+	q := NewSFQCoDelQueue(1<<20, 10e9)
+	q.Target = 1e-3
+	q.Interval = 10e-3
+	var dropped int
+	q.SetDropHandler(func(*Packet) { dropped++ })
+	// Fill one bucket, then dequeue much later than target+interval: CoDel
+	// must start dropping head packets.
+	for i := 0; i < 50; i++ {
+		q.Enqueue(dataPacket(1, 1500, 0), 0)
+	}
+	now := Time(0)
+	for i := 0; i < 50; i++ {
+		now += 2e-3 // drain far slower than the 1 ms target sojourn
+		if _, ok := q.Dequeue(now); !ok {
+			break
+		}
+	}
+	if dropped == 0 {
+		t.Error("CoDel never dropped despite persistent over-target sojourn times")
+	}
+}
+
+func TestSFQCoDelByteLimit(t *testing.T) {
+	q := NewSFQCoDelQueue(3000, 10e9)
+	var dropped int
+	q.SetDropHandler(func(*Packet) { dropped++ })
+	for i := 0; i < 5; i++ {
+		q.Enqueue(dataPacket(int64(i), 1500, 0), 0)
+	}
+	if dropped != 3 {
+		t.Errorf("dropped %d, want 3 (limit 2 packets)", dropped)
+	}
+}
+
+func TestXCPQueueFeedbackSignals(t *testing.T) {
+	const capacity = 10e9
+	q := NewXCPQueue(1<<20, capacity, 40e-6)
+	// Interval 1: low utilization -> positive feedback afterwards.
+	now := Time(0)
+	q.Enqueue(dataPacket(1, 1500, 0), now)
+	q.Dequeue(now)
+	now += 50e-6
+	p := dataPacket(1, 1500, 0)
+	q.Enqueue(p, now) // rolls the interval; spare capacity was large
+	if q.aggregateFeedback <= 0 {
+		t.Errorf("under-utilized link should compute positive aggregate feedback, got %g", q.aggregateFeedback)
+	}
+	if p.XCPFeedback <= 0 {
+		t.Errorf("packet should receive positive feedback, got %g", p.XCPFeedback)
+	}
+
+	// Saturate the link for one interval: feedback must turn negative.
+	for i := 0; i < 60; i++ {
+		q.Enqueue(dataPacket(2, 1500, 0), now)
+	}
+	now += 50e-6
+	p2 := dataPacket(3, 1500, 0)
+	q.Enqueue(p2, now)
+	if q.aggregateFeedback >= 0 {
+		t.Errorf("overloaded link should compute negative aggregate feedback, got %g", q.aggregateFeedback)
+	}
+}
+
+func TestXCPQueueDelegatesToFIFO(t *testing.T) {
+	q := NewXCPQueue(2500, 10e9, 40e-6)
+	var dropped int
+	q.SetDropHandler(func(*Packet) { dropped++ })
+	q.Enqueue(dataPacket(1, 1000, 0), 0)
+	q.Enqueue(dataPacket(2, 1000, 0), 0)
+	q.Enqueue(dataPacket(3, 1000, 0), 0)
+	if dropped != 1 {
+		t.Errorf("dropped %d, want 1", dropped)
+	}
+	if q.Len() != 2 || q.Bytes() != 2000 {
+		t.Errorf("Len=%d Bytes=%d", q.Len(), q.Bytes())
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import "math"
+
+// SFQCoDelQueue implements stochastic fair queueing with a CoDel AQM per
+// bucket, the queue discipline of the Cubic-over-sfqCoDel comparison scheme:
+// flows are hashed into buckets, buckets are served in deficit round-robin
+// order, and each bucket runs the CoDel "drop when sojourn time stays above
+// target for an interval" controller. The target and interval default to
+// values scaled for datacenter RTTs.
+type SFQCoDelQueue struct {
+	// LimitBytes caps the total queued bytes across all buckets.
+	LimitBytes int
+	// NumBuckets is the number of SFQ hash buckets (default 1024).
+	NumBuckets int
+	// Target is CoDel's acceptable standing queue delay in seconds.
+	Target Time
+	// Interval is CoDel's measurement interval in seconds.
+	Interval Time
+	// Rate is the drain rate of the attached link in bits/s, used to
+	// convert bytes of backlog into sojourn-time estimates.
+	Rate float64
+	// Quantum is the DRR quantum in bytes (default one MTU + headers).
+	Quantum int
+
+	buckets  map[int]*codelBucket
+	active   []int // round-robin order of non-empty bucket ids
+	bytes    int
+	count    int
+	onDrop   func(*Packet)
+}
+
+// codelBucket is one SFQ bucket with its own FIFO and CoDel state.
+type codelBucket struct {
+	pkts    []*Packet
+	bytes   int
+	deficit int
+
+	// CoDel state (per RFC 8289, simplified).
+	dropping      bool
+	firstAboveAt  Time
+	dropNextAt    Time
+	dropCount     int
+}
+
+// NewSFQCoDelQueue builds an sfqCoDel queue for a link with the given rate.
+func NewSFQCoDelQueue(limitBytes int, linkRate float64) *SFQCoDelQueue {
+	return &SFQCoDelQueue{
+		LimitBytes: limitBytes,
+		NumBuckets: 1024,
+		Target:     100e-6,
+		Interval:   2e-3,
+		Rate:       linkRate,
+		Quantum:    MTU + HeaderBytes,
+		buckets:    make(map[int]*codelBucket),
+	}
+}
+
+// SetDropHandler implements Queue.
+func (q *SFQCoDelQueue) SetDropHandler(fn func(*Packet)) { q.onDrop = fn }
+
+// bucketOf hashes a flow to a bucket index.
+func (q *SFQCoDelQueue) bucketOf(flow int64) int {
+	h := uint64(flow) * 0x9e3779b97f4a7c15
+	return int(h % uint64(q.NumBuckets))
+}
+
+// Enqueue implements Queue.
+func (q *SFQCoDelQueue) Enqueue(p *Packet, now Time) {
+	if q.bytes+p.WireBytes > q.LimitBytes {
+		if q.onDrop != nil {
+			q.onDrop(p)
+		}
+		return
+	}
+	id := q.bucketOf(p.Flow)
+	b, ok := q.buckets[id]
+	if !ok {
+		b = &codelBucket{}
+		q.buckets[id] = b
+	}
+	if len(b.pkts) == 0 {
+		b.deficit = q.Quantum
+		q.active = append(q.active, id)
+	}
+	p.EnqueuedAt = now
+	b.pkts = append(b.pkts, p)
+	b.bytes += p.WireBytes
+	q.bytes += p.WireBytes
+	q.count++
+}
+
+// sojourn estimates how long the head packet of a bucket has been queued.
+func sojourn(p *Packet, now Time) Time { return now - p.EnqueuedAt }
+
+// codelShouldDrop runs the CoDel state machine on the head packet of a
+// bucket and reports whether it should be dropped.
+func (q *SFQCoDelQueue) codelShouldDrop(b *codelBucket, p *Packet, now Time) bool {
+	if sojourn(p, now) < q.Target || b.bytes <= MTU+HeaderBytes {
+		b.firstAboveAt = 0
+		return false
+	}
+	if b.firstAboveAt == 0 {
+		b.firstAboveAt = now + q.Interval
+		return false
+	}
+	if now < b.firstAboveAt {
+		return false
+	}
+	if !b.dropping {
+		b.dropping = true
+		if b.dropCount > 2 && now-b.dropNextAt < 8*q.Interval {
+			// Re-entering drop state shortly after leaving it: resume at
+			// the previous drop rate.
+			b.dropCount -= 2
+		} else {
+			b.dropCount = 1
+		}
+		b.dropNextAt = now + q.Interval/math.Sqrt(float64(b.dropCount))
+		return true
+	}
+	if now >= b.dropNextAt {
+		b.dropCount++
+		b.dropNextAt = now + q.Interval/math.Sqrt(float64(b.dropCount))
+		return true
+	}
+	return false
+}
+
+// Dequeue implements Queue using deficit round-robin across buckets.
+func (q *SFQCoDelQueue) Dequeue(now Time) (*Packet, bool) {
+	for len(q.active) > 0 {
+		id := q.active[0]
+		b := q.buckets[id]
+		if len(b.pkts) == 0 {
+			q.active = q.active[1:]
+			continue
+		}
+		head := b.pkts[0]
+		if b.deficit < head.WireBytes {
+			// Move the bucket to the back of the round and replenish.
+			q.active = append(q.active[1:], id)
+			b.deficit += q.Quantum
+			continue
+		}
+		// CoDel: drop head packets while the controller says so.
+		for len(b.pkts) > 0 && q.codelShouldDrop(b, b.pkts[0], now) {
+			victim := b.pkts[0]
+			b.pkts = b.pkts[1:]
+			b.bytes -= victim.WireBytes
+			q.bytes -= victim.WireBytes
+			q.count--
+			if q.onDrop != nil {
+				q.onDrop(victim)
+			}
+		}
+		if len(b.pkts) == 0 {
+			b.dropping = false
+			q.active = q.active[1:]
+			continue
+		}
+		p := b.pkts[0]
+		if sojourn(p, now) < q.Target {
+			b.dropping = false
+		}
+		b.pkts = b.pkts[1:]
+		b.bytes -= p.WireBytes
+		b.deficit -= p.WireBytes
+		q.bytes -= p.WireBytes
+		q.count--
+		if len(b.pkts) == 0 {
+			q.active = q.active[1:]
+		}
+		return p, true
+	}
+	return nil, false
+}
+
+// Len implements Queue.
+func (q *SFQCoDelQueue) Len() int { return q.count }
+
+// Bytes implements Queue.
+func (q *SFQCoDelQueue) Bytes() int { return q.bytes }

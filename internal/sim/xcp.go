@@ -1,0 +1,102 @@
+package sim
+
+// XCPQueue is a drop-tail FIFO augmented with an XCP router efficiency/
+// fairness controller (Katabi et al.): every control interval the router
+// computes an aggregate feedback from its spare capacity and standing queue,
+// and apportions it to the packets that traverse the link during the next
+// interval by writing into their XCPFeedback field. Receivers echo the field
+// in ACKs and senders adjust their windows by it, which is what makes XCP
+// conservative in handing out bandwidth (§6.3 of the Flowtune paper).
+type XCPQueue struct {
+	// LimitBytes is the buffer size.
+	LimitBytes int
+	// Capacity is the attached link's rate in bits per second.
+	Capacity float64
+	// Interval is the control interval in seconds (roughly the mean RTT).
+	Interval Time
+	// Alpha and Beta are XCP's stability constants (0.4 and 0.226).
+	Alpha, Beta float64
+
+	fifo *DropTailQueue
+
+	// Controller state for the current interval.
+	intervalInit  bool
+	intervalStart Time
+	arrivedBytes  float64
+	packetsSeen   int
+
+	// Feedback computed at the end of the previous interval.
+	aggregateFeedback float64 // bytes of window change to hand out this interval
+	expectedPackets   int
+}
+
+// NewXCPQueue builds an XCP-controlled queue for a link of the given rate.
+func NewXCPQueue(limitBytes int, capacity float64, interval Time) *XCPQueue {
+	return &XCPQueue{
+		LimitBytes: limitBytes,
+		Capacity:   capacity,
+		Interval:   interval,
+		Alpha:      0.4,
+		Beta:       0.226,
+		fifo:       NewDropTailQueue(limitBytes),
+		// Until the first control interval completes there is no feedback
+		// to hand out; expectedPackets must still be positive so the
+		// per-packet share is well defined (zero, not NaN).
+		expectedPackets: 1,
+	}
+}
+
+// SetDropHandler implements Queue.
+func (q *XCPQueue) SetDropHandler(fn func(*Packet)) { q.fifo.SetDropHandler(fn) }
+
+// rollInterval closes the current control interval and computes the
+// aggregate feedback for the next one.
+func (q *XCPQueue) rollInterval(now Time) {
+	if !q.intervalInit {
+		q.intervalInit = true
+		q.intervalStart = now
+		return
+	}
+	elapsed := now - q.intervalStart
+	if elapsed < q.Interval {
+		return
+	}
+	// Spare capacity in bytes over the interval, minus a term that drains
+	// the standing queue.
+	capacityBytes := q.Capacity / 8 * elapsed
+	spare := q.Alpha*(capacityBytes-q.arrivedBytes) - q.Beta*float64(q.fifo.Bytes())
+	q.aggregateFeedback = spare
+	q.expectedPackets = q.packetsSeen
+	if q.expectedPackets == 0 {
+		q.expectedPackets = 1
+	}
+	q.arrivedBytes = 0
+	q.packetsSeen = 0
+	q.intervalStart = now
+}
+
+// Enqueue implements Queue.
+func (q *XCPQueue) Enqueue(p *Packet, now Time) {
+	q.rollInterval(now)
+	q.arrivedBytes += float64(p.WireBytes)
+	if p.Kind == Data {
+		q.packetsSeen++
+		// Per-packet feedback: an equal share of the aggregate feedback,
+		// a simplification of XCP's cwnd/rtt-weighted apportioning that
+		// preserves its conservative, interval-limited allocation.
+		share := q.aggregateFeedback / float64(q.expectedPackets)
+		if p.XCPFeedback > share || p.XCPFeedback == 0 {
+			p.XCPFeedback = share
+		}
+	}
+	q.fifo.Enqueue(p, now)
+}
+
+// Dequeue implements Queue.
+func (q *XCPQueue) Dequeue(now Time) (*Packet, bool) { return q.fifo.Dequeue(now) }
+
+// Len implements Queue.
+func (q *XCPQueue) Len() int { return q.fifo.Len() }
+
+// Bytes implements Queue.
+func (q *XCPQueue) Bytes() int { return q.fifo.Bytes() }

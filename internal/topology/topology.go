@@ -1,0 +1,337 @@
+// Package topology models the two-tier Clos (leaf-spine) datacenter fabrics
+// used by Flowtune's evaluation: racks of servers connected to top-of-rack
+// (ToR) switches, which connect to a layer of spine switches. It provides
+// link/path bookkeeping for the rate allocator and the packet simulator, and
+// the LinkBlock partitioning used by the multicore allocator (§5 of the
+// paper).
+package topology
+
+import (
+	"fmt"
+)
+
+// NodeKind identifies the role of a node in the fabric.
+type NodeKind uint8
+
+const (
+	// Server is an end host attached to a ToR switch.
+	Server NodeKind = iota
+	// ToR is a top-of-rack (leaf) switch.
+	ToR
+	// Spine is a second-tier (aggregation/spine) switch.
+	Spine
+	// Allocator is the centralized Flowtune allocator host.
+	Allocator
+)
+
+// String returns a short human-readable name for the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case Server:
+		return "server"
+	case ToR:
+		return "tor"
+	case Spine:
+		return "spine"
+	case Allocator:
+		return "allocator"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// NodeID identifies a node (server, switch, or allocator) in a Topology.
+type NodeID int32
+
+// LinkID identifies a unidirectional link in a Topology.
+type LinkID int32
+
+// Node is a single device in the fabric.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// Rack is the rack index for servers and ToR switches, -1 otherwise.
+	Rack int
+	// Index is the position of the node within its kind (server index,
+	// rack index, or spine index).
+	Index int
+}
+
+// Link is a unidirectional link between two nodes.
+type Link struct {
+	ID LinkID
+	// Src and Dst are the endpoints of the link.
+	Src, Dst NodeID
+	// Capacity is in bits per second.
+	Capacity float64
+	// Delay is the one-way propagation delay in seconds.
+	Delay float64
+	// Up reports whether the link goes up the topology
+	// (server→ToR or ToR→spine).
+	Up bool
+}
+
+// Topology is an immutable description of a two-tier Clos fabric.
+//
+// Construct one with NewTwoTier; the zero value is not usable.
+type Topology struct {
+	nodes []Node
+	links []Link
+
+	cfg Config
+
+	// serverIDs[i] is the NodeID of server i.
+	serverIDs []NodeID
+	// torIDs[r] is the NodeID of the ToR switch of rack r.
+	torIDs []NodeID
+	// spineIDs[s] is the NodeID of spine switch s.
+	spineIDs []NodeID
+	// allocatorID is the NodeID of the allocator host, or -1 if absent.
+	allocatorID NodeID
+
+	// linkByPair maps (src,dst) to the LinkID connecting them.
+	linkByPair map[[2]NodeID]LinkID
+}
+
+// Config describes a two-tier Clos fabric.
+type Config struct {
+	// Racks is the number of racks (each with one ToR switch).
+	Racks int
+	// ServersPerRack is the number of servers attached to each ToR.
+	ServersPerRack int
+	// Spines is the number of spine switches. Every ToR connects to every
+	// spine.
+	Spines int
+	// LinkCapacity is the capacity of every server and fabric link in
+	// bits per second (the paper's simulations use 10 Gbit/s; the
+	// allocator benchmarks use 40 Gbit/s).
+	LinkCapacity float64
+	// LinkDelay is the one-way propagation delay of each link in seconds.
+	LinkDelay float64
+	// HostDelay is the processing delay at each host in seconds. It is
+	// recorded for simulator use; it does not create topology links.
+	HostDelay float64
+	// WithAllocator adds an allocator host connected to every spine
+	// switch with a dedicated AllocatorLinkCapacity link, mirroring the
+	// paper's setup (40 Gbit/s link to each spine).
+	WithAllocator bool
+	// AllocatorLinkCapacity is the capacity of each allocator uplink in
+	// bits per second. Defaults to 4x LinkCapacity when zero.
+	AllocatorLinkCapacity float64
+}
+
+// DefaultSimConfig returns the simulation topology used throughout §6.2-§6.5
+// of the paper: 4 spine switches, 9 racks of 16 servers, 10 Gbit/s links,
+// 1.5 µs link delay and 2 µs host delay.
+func DefaultSimConfig() Config {
+	return Config{
+		Racks:          9,
+		ServersPerRack: 16,
+		Spines:         4,
+		LinkCapacity:   10e9,
+		LinkDelay:      1.5e-6,
+		HostDelay:      2e-6,
+		WithAllocator:  true,
+	}
+}
+
+// Validate checks the configuration for obvious errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Racks <= 0:
+		return fmt.Errorf("topology: Racks must be positive, got %d", c.Racks)
+	case c.ServersPerRack <= 0:
+		return fmt.Errorf("topology: ServersPerRack must be positive, got %d", c.ServersPerRack)
+	case c.Spines <= 0:
+		return fmt.Errorf("topology: Spines must be positive, got %d", c.Spines)
+	case c.LinkCapacity <= 0:
+		return fmt.Errorf("topology: LinkCapacity must be positive, got %g", c.LinkCapacity)
+	case c.LinkDelay < 0:
+		return fmt.Errorf("topology: LinkDelay must be non-negative, got %g", c.LinkDelay)
+	case c.HostDelay < 0:
+		return fmt.Errorf("topology: HostDelay must be non-negative, got %g", c.HostDelay)
+	}
+	return nil
+}
+
+// NewTwoTier builds a two-tier full-bisection Clos topology from cfg.
+func NewTwoTier(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AllocatorLinkCapacity == 0 {
+		cfg.AllocatorLinkCapacity = 4 * cfg.LinkCapacity
+	}
+
+	t := &Topology{
+		cfg:         cfg,
+		allocatorID: -1,
+		linkByPair:  make(map[[2]NodeID]LinkID),
+	}
+
+	addNode := func(kind NodeKind, rack, index int) NodeID {
+		id := NodeID(len(t.nodes))
+		t.nodes = append(t.nodes, Node{ID: id, Kind: kind, Rack: rack, Index: index})
+		return id
+	}
+	addLink := func(src, dst NodeID, capacity, delay float64, up bool) LinkID {
+		id := LinkID(len(t.links))
+		t.links = append(t.links, Link{ID: id, Src: src, Dst: dst, Capacity: capacity, Delay: delay, Up: up})
+		t.linkByPair[[2]NodeID{src, dst}] = id
+		return id
+	}
+
+	// Servers and ToRs.
+	for r := 0; r < cfg.Racks; r++ {
+		tor := addNode(ToR, r, r)
+		t.torIDs = append(t.torIDs, tor)
+		for s := 0; s < cfg.ServersPerRack; s++ {
+			srv := addNode(Server, r, r*cfg.ServersPerRack+s)
+			t.serverIDs = append(t.serverIDs, srv)
+			addLink(srv, tor, cfg.LinkCapacity, cfg.LinkDelay, true)
+			addLink(tor, srv, cfg.LinkCapacity, cfg.LinkDelay, false)
+		}
+	}
+
+	// Spines, fully connected to every ToR.
+	for s := 0; s < cfg.Spines; s++ {
+		sp := addNode(Spine, -1, s)
+		t.spineIDs = append(t.spineIDs, sp)
+		for r := 0; r < cfg.Racks; r++ {
+			// Full-bisection: each ToR-spine link carries the rack's
+			// share of uplink capacity.
+			cap := cfg.LinkCapacity * float64(cfg.ServersPerRack) / float64(cfg.Spines)
+			addLink(t.torIDs[r], sp, cap, cfg.LinkDelay, true)
+			addLink(sp, t.torIDs[r], cap, cfg.LinkDelay, false)
+		}
+	}
+
+	if cfg.WithAllocator {
+		alloc := addNode(Allocator, -1, 0)
+		t.allocatorID = alloc
+		for _, sp := range t.spineIDs {
+			addLink(alloc, sp, cfg.AllocatorLinkCapacity, cfg.LinkDelay, true)
+			addLink(sp, alloc, cfg.AllocatorLinkCapacity, cfg.LinkDelay, false)
+		}
+	}
+
+	return t, nil
+}
+
+// Config returns the configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// NumServers returns the number of servers in the fabric.
+func (t *Topology) NumServers() int { return len(t.serverIDs) }
+
+// NumRacks returns the number of racks.
+func (t *Topology) NumRacks() int { return len(t.torIDs) }
+
+// NumSpines returns the number of spine switches.
+func (t *Topology) NumSpines() int { return len(t.spineIDs) }
+
+// NumLinks returns the number of unidirectional links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// NumNodes returns the number of nodes (servers, switches, allocator).
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// Node returns the node with the given id.
+func (t *Topology) Node(id NodeID) Node { return t.nodes[id] }
+
+// Link returns the link with the given id.
+func (t *Topology) Link(id LinkID) Link { return t.links[id] }
+
+// Links returns all links. The returned slice must not be modified.
+func (t *Topology) Links() []Link { return t.links }
+
+// Server returns the NodeID of server i (0 <= i < NumServers).
+func (t *Topology) Server(i int) NodeID { return t.serverIDs[i] }
+
+// ServerIndex returns the server index of a server node id.
+func (t *Topology) ServerIndex(id NodeID) int { return t.nodes[id].Index }
+
+// ToRForRack returns the ToR switch of rack r.
+func (t *Topology) ToRForRack(r int) NodeID { return t.torIDs[r] }
+
+// SpineSwitch returns the NodeID of spine s.
+func (t *Topology) SpineSwitch(s int) NodeID { return t.spineIDs[s] }
+
+// AllocatorNode returns the allocator host's NodeID and whether it exists.
+func (t *Topology) AllocatorNode() (NodeID, bool) {
+	if t.allocatorID < 0 {
+		return 0, false
+	}
+	return t.allocatorID, true
+}
+
+// RackOfServer returns the rack index of server i.
+func (t *Topology) RackOfServer(i int) int { return i / t.cfg.ServersPerRack }
+
+// LinkBetween returns the link from src to dst, if one exists.
+func (t *Topology) LinkBetween(src, dst NodeID) (LinkID, bool) {
+	id, ok := t.linkByPair[[2]NodeID{src, dst}]
+	return id, ok
+}
+
+// Capacities returns a slice of link capacities indexed by LinkID.
+func (t *Topology) Capacities() []float64 {
+	caps := make([]float64, len(t.links))
+	for i, l := range t.links {
+		caps[i] = l.Capacity
+	}
+	return caps
+}
+
+// Path is the ordered list of links a flow traverses from source server to
+// destination server.
+type Path []LinkID
+
+// Route computes the path from server src to server dst (server indices, not
+// NodeIDs). Cross-rack flows traverse a spine chosen by spineChoice modulo
+// the number of spines; intra-rack flows go server→ToR→server. Route mirrors
+// ECMP path selection with the hash supplied by the caller so the allocator
+// and the simulator agree on paths (§7: Flowtune works with the paths the
+// network selects).
+func (t *Topology) Route(src, dst int, spineChoice int) (Path, error) {
+	if src < 0 || src >= len(t.serverIDs) || dst < 0 || dst >= len(t.serverIDs) {
+		return nil, fmt.Errorf("topology: server index out of range: src=%d dst=%d (have %d servers)", src, dst, len(t.serverIDs))
+	}
+	if src == dst {
+		return nil, fmt.Errorf("topology: source and destination are the same server %d", src)
+	}
+	srcNode := t.serverIDs[src]
+	dstNode := t.serverIDs[dst]
+	srcRack := t.RackOfServer(src)
+	dstRack := t.RackOfServer(dst)
+	srcToR := t.torIDs[srcRack]
+	dstToR := t.torIDs[dstRack]
+
+	up1, _ := t.LinkBetween(srcNode, srcToR)
+	if srcRack == dstRack {
+		down1, _ := t.LinkBetween(srcToR, dstNode)
+		return Path{up1, down1}, nil
+	}
+	spine := t.spineIDs[((spineChoice%len(t.spineIDs))+len(t.spineIDs))%len(t.spineIDs)]
+	up2, _ := t.LinkBetween(srcToR, spine)
+	down2, _ := t.LinkBetween(spine, dstToR)
+	down1, _ := t.LinkBetween(dstToR, dstNode)
+	return Path{up1, up2, down2, down1}, nil
+}
+
+// HopCount returns the number of switch-to-switch hops on the path between
+// two servers: 2 for intra-rack and 4 for cross-rack paths.
+func (t *Topology) HopCount(src, dst int) int {
+	if t.RackOfServer(src) == t.RackOfServer(dst) {
+		return 2
+	}
+	return 4
+}
+
+// BaseRTT returns the unloaded round-trip time between two servers,
+// including link propagation and host delays, in seconds.
+func (t *Topology) BaseRTT(src, dst int) float64 {
+	hops := t.HopCount(src, dst)
+	oneWay := float64(hops)*t.cfg.LinkDelay + t.cfg.HostDelay
+	return 2 * oneWay
+}

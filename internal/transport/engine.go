@@ -1,0 +1,455 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// EngineConfig configures a simulation run of one scheme over one workload.
+type EngineConfig struct {
+	// Scheme selects the congestion-control scheme.
+	Scheme Scheme
+	// Topology is the fabric to simulate; nil uses the paper's default
+	// simulation topology (9 racks × 16 servers, 4 spines, 10 Gbit/s).
+	Topology *topology.Topology
+	// AllocatorInterval is the Flowtune allocator's iteration period
+	// (default 10 µs, §6.2).
+	AllocatorInterval float64
+	// AllocatorGamma is NED's γ (default 0.4).
+	AllocatorGamma float64
+	// UpdateThreshold is the allocator's rate-update notification
+	// threshold (default 0.01).
+	UpdateThreshold float64
+	// TrackThroughput enables per-flow throughput time series (used by the
+	// Figure 4 convergence experiment).
+	TrackThroughput bool
+	// ThroughputInterval is the time-series bucket width (default 100 µs).
+	ThroughputInterval float64
+	// QueueSamplePeriod enables periodic queue sampling when positive
+	// (the paper samples every 1 ms).
+	QueueSamplePeriod float64
+	// Horizon is the simulation end time in seconds; required by Run.
+	Horizon float64
+}
+
+// withDefaults fills unset fields.
+func (c EngineConfig) withDefaults() (EngineConfig, error) {
+	if c.Topology == nil {
+		topo, err := topology.NewTwoTier(topology.DefaultSimConfig())
+		if err != nil {
+			return c, err
+		}
+		c.Topology = topo
+	}
+	if c.AllocatorInterval == 0 {
+		c.AllocatorInterval = 10e-6
+	}
+	if c.AllocatorGamma == 0 {
+		c.AllocatorGamma = 0.4
+	}
+	if c.UpdateThreshold == 0 {
+		c.UpdateThreshold = 0.01
+	}
+	if c.ThroughputInterval == 0 {
+		c.ThroughputInterval = 100e-6
+	}
+	return c, nil
+}
+
+// Engine runs one congestion-control scheme over a set of flowlets on a
+// simulated fabric and collects the evaluation metrics.
+type Engine struct {
+	cfg  EngineConfig
+	sim  *sim.Simulator
+	net  *sim.Network
+	topo *topology.Topology
+
+	conns   map[int64]*conn
+	records []metrics.FlowRecord
+
+	// Flowtune-specific allocator endpoint.
+	alloc          *core.Allocator
+	allocRunning   bool
+	allocFailed    bool
+	ctrlToAlloc    map[int][]int32 // control path from each server to the allocator
+	ctrlFromAlloc  map[int][]int32 // control path from the allocator to each server
+	controlPackets int64
+	controlBytes   int64
+}
+
+// NewEngine creates an engine for the given configuration.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	net, err := sim.NewNetwork(s, cfg.Topology, QueueFactory(cfg.Scheme))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		sim:   s,
+		net:   net,
+		topo:  cfg.Topology,
+		conns: make(map[int64]*conn),
+	}
+	for srv := 0; srv < e.topo.NumServers(); srv++ {
+		server := srv
+		net.RegisterHost(server, func(p *sim.Packet) { e.hostReceive(server, p) })
+	}
+	net.OnDrop(e.packetDropped)
+	if cfg.Scheme == Flowtune {
+		if err := e.setupAllocator(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.QueueSamplePeriod > 0 && cfg.Horizon > 0 {
+		net.StartQueueSampling(cfg.QueueSamplePeriod, cfg.Horizon)
+	}
+	return e, nil
+}
+
+// Sim returns the engine's simulator.
+func (e *Engine) Sim() *sim.Simulator { return e.sim }
+
+// Network returns the engine's simulated network.
+func (e *Engine) Network() *sim.Network { return e.net }
+
+// Topology returns the fabric being simulated.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// Allocator returns the Flowtune allocator, or nil for other schemes.
+func (e *Engine) Allocator() *core.Allocator { return e.alloc }
+
+// serverLinkRate returns the capacity of a server's access link.
+func (e *Engine) serverLinkRate() float64 { return e.topo.Config().LinkCapacity }
+
+// retxDelay models how long a sender takes to detect and repair a loss.
+func (e *Engine) retxDelay(c *conn) float64 {
+	switch e.cfg.Scheme {
+	case PFabric:
+		// pFabric uses aggressive probing and small RTOs.
+		return 3 * c.baseRTT
+	default:
+		return math.Max(200e-6, 2*c.rttEstimate())
+	}
+}
+
+// rtoInterval is the retransmission-timeout period for lost-ACK recovery.
+func (e *Engine) rtoInterval(c *conn) float64 {
+	switch e.cfg.Scheme {
+	case PFabric:
+		return math.Max(60e-6, 3*c.rttEstimate())
+	default:
+		return math.Max(1e-3, 4*c.rttEstimate())
+	}
+}
+
+// AddFlowlet registers a flowlet: its connection starts at the flowlet's
+// arrival time.
+func (e *Engine) AddFlowlet(f workload.Flowlet) error {
+	if _, dup := e.conns[f.ID]; dup {
+		return fmt.Errorf("transport: flowlet %d already added", f.ID)
+	}
+	fwd, err := e.topo.Route(f.Src, f.Dst, int(f.ID))
+	if err != nil {
+		return err
+	}
+	rev, err := e.topo.Route(f.Dst, f.Src, int(f.ID))
+	if err != nil {
+		return err
+	}
+	c := &conn{
+		eng:     e,
+		id:      f.ID,
+		src:     f.Src,
+		dst:     f.Dst,
+		size:    f.SizeBytes,
+		fwdPath: pathToInt32(fwd),
+		revPath: pathToInt32(rev),
+		baseRTT: e.topo.BaseRTT(f.Src, f.Dst),
+		unacked: make(map[int64]int),
+		received: make(map[int64]int),
+		snd:     newSender(e.cfg.Scheme),
+	}
+	idealRate := e.serverLinkRate()
+	e.records = append(e.records, metrics.FlowRecord{
+		ID:            f.ID,
+		SizeBytes:     f.SizeBytes,
+		Start:         f.Arrival,
+		IdealDuration: float64(f.SizeBytes*8)/idealRate + c.baseRTT,
+	})
+	c.recordIdx = len(e.records) - 1
+	if e.cfg.TrackThroughput {
+		c.throughput = metrics.NewThroughputSeries(e.cfg.ThroughputInterval, 0)
+	}
+	e.conns[f.ID] = c
+	e.sim.At(f.Arrival, func() { c.snd.start(c) })
+	return nil
+}
+
+// AddFlowlets registers a batch of flowlets.
+func (e *Engine) AddFlowlets(flows []workload.Flowlet) error {
+	for _, f := range flows {
+		if err := e.AddFlowlet(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation until the configured horizon (or the given
+// horizon if the configuration left it zero).
+func (e *Engine) Run(horizon float64) {
+	if horizon == 0 {
+		horizon = e.cfg.Horizon
+	}
+	if e.cfg.Horizon < horizon {
+		e.cfg.Horizon = horizon
+	}
+	if e.cfg.Scheme == Flowtune && !e.allocRunning {
+		e.allocRunning = true
+		e.sim.Schedule(e.cfg.AllocatorInterval, e.allocatorTick)
+	}
+	e.sim.Run(horizon)
+}
+
+// Records returns the per-flow outcome records.
+func (e *Engine) Records() []metrics.FlowRecord { return e.records }
+
+// StopFlow aborts a flow's sender at the current simulation time: no further
+// data is sent and, under Flowtune, a flowlet-end notification is sent to the
+// allocator. It is used by the Figure 4 convergence experiment, where senders
+// start and stop on a fixed schedule.
+func (e *Engine) StopFlow(id int64) {
+	c, ok := e.conns[id]
+	if !ok || c.senderDone {
+		return
+	}
+	c.senderDone = true
+	c.paceRate = 0
+	c.nextSeq = c.size // prevent any further new transmissions
+	c.retxQueue = nil
+	if e.cfg.Scheme == Flowtune {
+		e.notifyFlowletEnd(c)
+	}
+}
+
+// FlowThroughput returns the receiver-side throughput series of a flow (only
+// populated when TrackThroughput is set).
+func (e *Engine) FlowThroughput(id int64) *metrics.ThroughputSeries {
+	if c, ok := e.conns[id]; ok {
+		return c.throughput
+	}
+	return nil
+}
+
+// DroppedBytes returns total bytes dropped in the fabric.
+func (e *Engine) DroppedBytes() int64 { return e.net.TotalDroppedBytes() }
+
+// ControlBytes returns the bytes of allocator control traffic injected into
+// the fabric (Flowtune only).
+func (e *Engine) ControlBytes() int64 { return e.controlBytes }
+
+// AchievedRates returns, for every finished flow, its achieved throughput
+// (size divided by completion time), used for the fairness comparison.
+func (e *Engine) AchievedRates() []float64 {
+	var rates []float64
+	for _, r := range e.records {
+		if r.Finished() && r.FCT() > 0 {
+			rates = append(rates, float64(r.SizeBytes*8)/r.FCT())
+		}
+	}
+	return rates
+}
+
+// hostReceive dispatches a packet delivered to a server.
+func (e *Engine) hostReceive(server int, p *sim.Packet) {
+	switch p.Kind {
+	case sim.Data:
+		c, ok := e.conns[p.Flow]
+		if !ok || server != c.dst {
+			return
+		}
+		ack := c.handleData(p)
+		e.sim.Schedule(e.topo.Config().HostDelay, func() { e.net.Send(ack) })
+	case sim.Ack:
+		c, ok := e.conns[p.Flow]
+		if !ok || server != c.src {
+			return
+		}
+		c.handleAck(p)
+	case sim.Control:
+		if p.Ctrl == nil || p.Ctrl.Type != sim.CtrlRateUpdate {
+			return
+		}
+		c, ok := e.conns[p.Ctrl.Flow]
+		if !ok || c.senderDone {
+			return
+		}
+		if ft, ok := c.snd.(*flowtuneSender); ok {
+			ft.setRate(c, p.Ctrl.Rate)
+		}
+	}
+}
+
+// packetDropped lets the owning connection react to a lost data packet.
+func (e *Engine) packetDropped(p *sim.Packet, _ topology.LinkID) {
+	if p.Kind != sim.Data {
+		return
+	}
+	if c, ok := e.conns[p.Flow]; ok {
+		c.handleLoss(p)
+	}
+}
+
+// senderFinished is called when a connection has every byte acknowledged.
+func (e *Engine) senderFinished(c *conn) {
+	if e.cfg.Scheme == Flowtune {
+		e.notifyFlowletEnd(c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Flowtune allocator endpoint
+
+// setupAllocator builds the in-fabric allocator endpoint and its control
+// paths.
+func (e *Engine) setupAllocator() error {
+	allocNode, ok := e.topo.AllocatorNode()
+	if !ok {
+		return fmt.Errorf("transport: Flowtune requires a topology with an allocator host")
+	}
+	alloc, err := core.NewAllocator(core.Config{
+		Topology:          e.topo,
+		Gamma:             e.cfg.AllocatorGamma,
+		UpdateThreshold:   e.cfg.UpdateThreshold,
+		IterationInterval: e.cfg.AllocatorInterval,
+	})
+	if err != nil {
+		return err
+	}
+	e.alloc = alloc
+	e.ctrlToAlloc = make(map[int][]int32)
+	e.ctrlFromAlloc = make(map[int][]int32)
+	spines := e.topo.NumSpines()
+	for srv := 0; srv < e.topo.NumServers(); srv++ {
+		spine := e.topo.SpineSwitch(srv % spines)
+		tor := e.topo.ToRForRack(e.topo.RackOfServer(srv))
+		up1, _ := e.topo.LinkBetween(e.topo.Server(srv), tor)
+		up2, _ := e.topo.LinkBetween(tor, spine)
+		up3, _ := e.topo.LinkBetween(spine, allocNode)
+		e.ctrlToAlloc[srv] = []int32{int32(up1), int32(up2), int32(up3)}
+		down1, _ := e.topo.LinkBetween(allocNode, spine)
+		down2, _ := e.topo.LinkBetween(spine, tor)
+		down3, _ := e.topo.LinkBetween(tor, e.topo.Server(srv))
+		e.ctrlFromAlloc[srv] = []int32{int32(down1), int32(down2), int32(down3)}
+	}
+	e.net.RegisterAllocatorHost(e.allocatorReceive)
+	return nil
+}
+
+// FailAllocator simulates an allocator failure: no new iterations run and no
+// updates are sent; endpoints keep their last allocated rates.
+func (e *Engine) FailAllocator() {
+	if e.alloc != nil {
+		e.alloc.Fail()
+		e.allocFailed = true
+	}
+}
+
+// RecoverAllocator restores a failed allocator.
+func (e *Engine) RecoverAllocator() {
+	if e.alloc != nil {
+		e.alloc.Recover()
+		e.allocFailed = false
+	}
+}
+
+// notifyFlowletStart sends a flowlet-start control message to the allocator.
+func (e *Engine) notifyFlowletStart(c *conn) {
+	e.sendControl(c.src, sim.AllocatorDst, e.ctrlToAlloc[c.src], &sim.ControlInfo{
+		Type: sim.CtrlFlowletStart,
+		Flow: c.id,
+		Src:  c.src,
+		Dst:  c.dst,
+	}, core.FlowletStartBytes)
+}
+
+// notifyFlowletEnd sends a flowlet-end control message to the allocator.
+func (e *Engine) notifyFlowletEnd(c *conn) {
+	e.sendControl(c.src, sim.AllocatorDst, e.ctrlToAlloc[c.src], &sim.ControlInfo{
+		Type: sim.CtrlFlowletEnd,
+		Flow: c.id,
+	}, core.FlowletEndBytes)
+}
+
+// sendControl injects a control packet onto a path.
+func (e *Engine) sendControl(src, dst int, path []int32, info *sim.ControlInfo, payload int) {
+	p := &sim.Packet{
+		Flow:         -int64(info.Flow) - 1, // control traffic has its own flow space
+		Kind:         sim.Control,
+		Src:          src,
+		Dst:          dst,
+		PayloadBytes: payload,
+		WireBytes:    payload + sim.HeaderBytes,
+		Path:         path,
+		Ctrl:         info,
+	}
+	e.controlPackets++
+	e.controlBytes += int64(p.WireBytes)
+	e.net.Send(p)
+}
+
+// allocatorReceive handles control packets arriving at the allocator host.
+func (e *Engine) allocatorReceive(p *sim.Packet) {
+	if p.Kind != sim.Control || p.Ctrl == nil || e.alloc == nil || e.allocFailed {
+		return
+	}
+	switch p.Ctrl.Type {
+	case sim.CtrlFlowletStart:
+		// Ignore duplicate registrations defensively.
+		if !e.alloc.HasFlow(core.FlowID(p.Ctrl.Flow)) {
+			_ = e.alloc.FlowletStart(core.FlowID(p.Ctrl.Flow), p.Ctrl.Src, p.Ctrl.Dst, 1)
+		}
+	case sim.CtrlFlowletEnd:
+		if e.alloc.HasFlow(core.FlowID(p.Ctrl.Flow)) {
+			_ = e.alloc.FlowletEnd(core.FlowID(p.Ctrl.Flow))
+		}
+	}
+}
+
+// allocatorTick runs one allocator iteration and ships the resulting rate
+// updates to endpoints as control packets through the fabric.
+func (e *Engine) allocatorTick() {
+	if e.alloc != nil && !e.allocFailed {
+		updates := e.alloc.Iterate()
+		for _, u := range updates {
+			e.sendControl(sim.AllocatorDst, u.Src, e.ctrlFromAlloc[u.Src], &sim.ControlInfo{
+				Type: sim.CtrlRateUpdate,
+				Flow: int64(u.Flow),
+				Rate: u.Rate,
+			}, core.RateUpdateBytes)
+		}
+	}
+	if e.sim.Now() < e.cfg.Horizon {
+		e.sim.Schedule(e.cfg.AllocatorInterval, e.allocatorTick)
+	}
+}
+
+// pathToInt32 converts a topology path into the packet representation.
+func pathToInt32(p topology.Path) []int32 {
+	out := make([]int32, len(p))
+	for i, l := range p {
+		out[i] = int32(l)
+	}
+	return out
+}

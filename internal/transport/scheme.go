@@ -1,0 +1,109 @@
+// Package transport implements the endpoint congestion-control schemes
+// compared in Flowtune's evaluation (§6.3–§6.5) on top of the packet
+// simulator: Flowtune's allocator-paced endpoints, DCTCP, pFabric,
+// Cubic-over-sfqCoDel, and XCP, plus a plain TCP(Reno-like) fallback. The
+// Engine type wires a workload of flowlets into a simulated fabric with the
+// chosen scheme and collects the metrics the figures report.
+//
+// The transports are simplified relative to full protocol implementations —
+// see DESIGN.md for the modelling substitutions — but each one reproduces the
+// mechanism the paper's comparison hinges on: DCTCP's ECN-fraction window
+// control, pFabric's shortest-remaining-first priority dropping, sfqCoDel's
+// per-flow CoDel dropping under Cubic, XCP's conservative explicit feedback,
+// and Flowtune's explicit rate allocation with near-empty queues.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Scheme identifies a congestion-control scheme.
+type Scheme int
+
+const (
+	// Flowtune is the paper's scheme: endpoints pace flows at rates
+	// computed by the centralized allocator.
+	Flowtune Scheme = iota
+	// DCTCP is Data Center TCP (ECN-fraction window control).
+	DCTCP
+	// PFabric is pFabric (priority queues by remaining flow size).
+	PFabric
+	// SFQCoDel is Cubic endpoints over sfqCoDel switch queues.
+	SFQCoDel
+	// XCP is the eXplicit Control Protocol.
+	XCP
+	// TCP is a plain Reno-like TCP baseline (also the behaviour Flowtune
+	// endpoints fall back to when the allocator fails).
+	TCP
+)
+
+// String returns the scheme name used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case Flowtune:
+		return "Flowtune"
+	case DCTCP:
+		return "DCTCP"
+	case PFabric:
+		return "pFabric"
+	case SFQCoDel:
+		return "sfqCoDel"
+	case XCP:
+		return "XCP"
+	case TCP:
+		return "TCP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AllSchemes lists the five schemes compared in the evaluation figures.
+func AllSchemes() []Scheme { return []Scheme{Flowtune, DCTCP, PFabric, SFQCoDel, XCP} }
+
+// Queueing parameters per scheme. Sizes are in bytes of wire data.
+const (
+	// defaultBufferBytes is the switch buffer for schemes without special
+	// requirements (Flowtune, DCTCP, XCP, TCP).
+	defaultBufferBytes = 1 << 20
+	// dctcpMarkBytes is DCTCP's ECN marking threshold (≈65 MTU-sized
+	// packets, the DCTCP paper's K for 10 Gbit/s links).
+	dctcpMarkBytes = 65 * (sim.MTU + sim.HeaderBytes)
+	// pfabricBufferBytes is pFabric's small per-port buffer (≈2 BDP for a
+	// 10 Gbit/s link and ~22 µs RTT).
+	pfabricBufferBytes = 24 * (sim.MTU + sim.HeaderBytes)
+	// sfqCoDelBufferBytes bounds the aggregate sfqCoDel backlog.
+	sfqCoDelBufferBytes = 1 << 20
+	// xcpControlInterval is the XCP router control interval, roughly the
+	// fabric's mean RTT.
+	xcpControlInterval = 40e-6
+)
+
+// QueueFactory returns the queue-discipline factory a scheme installs on
+// every link of the fabric.
+func QueueFactory(s Scheme) sim.QueueFactory {
+	switch s {
+	case DCTCP:
+		return func(l topology.Link) sim.Queue {
+			return sim.NewECNQueue(defaultBufferBytes, dctcpMarkBytes)
+		}
+	case PFabric:
+		return func(l topology.Link) sim.Queue {
+			return sim.NewPFabricQueue(pfabricBufferBytes)
+		}
+	case SFQCoDel:
+		return func(l topology.Link) sim.Queue {
+			return sim.NewSFQCoDelQueue(sfqCoDelBufferBytes, l.Capacity)
+		}
+	case XCP:
+		return func(l topology.Link) sim.Queue {
+			return sim.NewXCPQueue(defaultBufferBytes, l.Capacity, xcpControlInterval)
+		}
+	default: // Flowtune, TCP
+		return func(l topology.Link) sim.Queue {
+			return sim.NewDropTailQueue(defaultBufferBytes)
+		}
+	}
+}

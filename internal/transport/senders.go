@@ -1,0 +1,283 @@
+package transport
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// initialWindowBytes is the initial congestion window of the window-based
+// schemes (10 MTU-sized segments, as in modern datacenter TCP stacks).
+const initialWindowBytes = 10 * sim.MTU
+
+// ---------------------------------------------------------------------------
+// Flowtune
+
+// flowtuneSender paces the flow at the rate allocated by the centralized
+// allocator. Until the first rate update arrives the endpoint behaves like a
+// freshly started TCP connection (§6.2: servers open a regular TCP connection
+// and in parallel notify the allocator), sending an initial window at line
+// rate. When the allocator is failed, the engine stops delivering updates and
+// the connection keeps its last allocated rate, which is the paper's
+// fault-tolerance story.
+type flowtuneSender struct {
+	allocated bool
+}
+
+func (s *flowtuneSender) start(c *conn) {
+	// Before the first allocation the endpoint behaves like a freshly
+	// started TCP connection with a small initial window (2 segments, the
+	// classic ns2 default): enough to get 1-2 packet flowlets out the door
+	// immediately, without blasting unpaced bursts into the fabric — the
+	// near-empty queues of §6.5 depend on unallocated flowlets staying
+	// gentle for the few tens of microseconds until their rate arrives.
+	c.cwnd = 2 * sim.MTU
+	c.trySendWindow()
+	c.eng.notifyFlowletStart(c)
+}
+
+func (s *flowtuneSender) onAck(c *conn, ack *sim.Packet, rtt float64) {
+	if !s.allocated {
+		// Pre-allocation slow start so very short flows are not stuck
+		// behind a 10 µs allocator iteration.
+		c.cwnd += float64(sim.MTU)
+		c.trySendWindow()
+		return
+	}
+	// Paced sends are driven by the pacing loop; nothing to do per ACK.
+}
+
+func (s *flowtuneSender) onLoss(c *conn) {
+	// Drops are extremely rare under Flowtune (allocations never exceed
+	// capacity); the retransmission machinery in conn handles recovery.
+}
+
+// setRate is called by the engine when a rate update for this flow arrives.
+func (s *flowtuneSender) setRate(c *conn, rate float64) {
+	s.allocated = true
+	c.setPaceRate(rate)
+}
+
+// ---------------------------------------------------------------------------
+// DCTCP
+
+// dctcpSender implements DCTCP's ECN-fraction congestion control: the
+// receiver echoes ECN marks, the sender maintains an EWMA α of the fraction
+// of marked bytes per window, and once per window reduces cwnd by α/2.
+type dctcpSender struct {
+	alpha        float64
+	markedBytes  float64
+	windowBytes  float64
+	windowEnd    int64 // ackedBytes value at which the current window closes
+	g            float64
+}
+
+func newDCTCPSender() *dctcpSender { return &dctcpSender{g: 1.0 / 16} }
+
+func (s *dctcpSender) start(c *conn) {
+	c.cwnd = initialWindowBytes
+	c.ecnCapable = true
+	s.windowEnd = int64(c.cwnd)
+	c.trySendWindow()
+}
+
+func (s *dctcpSender) onAck(c *conn, ack *sim.Packet, rtt float64) {
+	acked := float64(sim.MTU)
+	s.windowBytes += acked
+	if ack.EchoECN {
+		s.markedBytes += acked
+	}
+	if c.ackedBytes >= s.windowEnd {
+		// One window's worth of data acknowledged: update α and adjust.
+		frac := 0.0
+		if s.windowBytes > 0 {
+			frac = s.markedBytes / s.windowBytes
+		}
+		s.alpha = (1-s.g)*s.alpha + s.g*frac
+		if s.markedBytes > 0 {
+			c.cwnd = math.Max(float64(sim.MTU), c.cwnd*(1-s.alpha/2))
+		} else {
+			c.cwnd += float64(sim.MTU) // additive increase per RTT
+		}
+		s.markedBytes = 0
+		s.windowBytes = 0
+		s.windowEnd = c.ackedBytes + int64(c.cwnd)
+	}
+	c.trySendWindow()
+}
+
+func (s *dctcpSender) onLoss(c *conn) {
+	c.cwnd = math.Max(float64(sim.MTU), c.cwnd/2)
+}
+
+// ---------------------------------------------------------------------------
+// pFabric
+
+// pfabricSender models pFabric's minimal rate control: flows start at line
+// rate and stay there, relying on the fabric's priority queues to resolve
+// contention; after repeated timeouts a flow enters probe mode (modelled as a
+// reduced pacing rate), matching the paper's description of pFabric starving
+// long flows rather than pacing them.
+type pfabricSender struct {
+	losses int
+}
+
+func (s *pfabricSender) start(c *conn) {
+	c.paceRate = c.eng.serverLinkRate()
+	c.startPacing()
+}
+
+func (s *pfabricSender) onAck(c *conn, ack *sim.Packet, rtt float64) {
+	// Priorities of subsequent packets reflect the new remaining size via
+	// conn.remaining(); nothing else to adjust.
+	s.losses = 0
+	if c.paceRate < c.eng.serverLinkRate() {
+		c.setPaceRate(c.eng.serverLinkRate())
+	}
+}
+
+func (s *pfabricSender) onLoss(c *conn) {
+	s.losses++
+	if s.losses > 8 {
+		// Probe mode: back off to one packet per RTT until an ACK returns.
+		c.setPaceRate(float64(sim.MTU*8) / c.rttEstimate())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cubic (over sfqCoDel)
+
+// cubicSender implements TCP Cubic's window growth with fast-convergence
+// multiplicative decrease; CoDel drops in the fabric are its only congestion
+// signal.
+type cubicSender struct {
+	wMax        float64
+	epochStart  float64
+	k           float64
+	inSlowStart bool
+	ssthresh    float64
+}
+
+func newCubicSender() *cubicSender {
+	return &cubicSender{inSlowStart: true, ssthresh: math.Inf(1)}
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+func (s *cubicSender) start(c *conn) {
+	c.cwnd = initialWindowBytes
+	c.trySendWindow()
+}
+
+func (s *cubicSender) onAck(c *conn, ack *sim.Packet, rtt float64) {
+	if s.inSlowStart {
+		c.cwnd += float64(sim.MTU)
+		if c.cwnd >= s.ssthresh {
+			s.inSlowStart = false
+		}
+	} else {
+		now := c.eng.sim.Now()
+		if s.epochStart == 0 {
+			s.epochStart = now
+			s.wMax = math.Max(s.wMax, c.cwnd)
+			s.k = math.Cbrt(s.wMax * (1 - cubicBeta) / (cubicC * float64(sim.MTU)))
+		}
+		t := now - s.epochStart
+		target := cubicC*float64(sim.MTU)*math.Pow(t-s.k, 3) + s.wMax
+		if target > c.cwnd {
+			// Approach the cubic target over one RTT.
+			c.cwnd += (target - c.cwnd) * float64(sim.MTU) / math.Max(c.cwnd, float64(sim.MTU))
+		} else {
+			c.cwnd += float64(sim.MTU) * float64(sim.MTU) / (100 * math.Max(c.cwnd, float64(sim.MTU)))
+		}
+	}
+	c.trySendWindow()
+}
+
+func (s *cubicSender) onLoss(c *conn) {
+	s.inSlowStart = false
+	s.wMax = c.cwnd
+	c.cwnd = math.Max(float64(sim.MTU), c.cwnd*cubicBeta)
+	s.ssthresh = c.cwnd
+	s.epochStart = 0
+}
+
+// ---------------------------------------------------------------------------
+// XCP
+
+// xcpSender adjusts its window by the explicit feedback computed by XCP
+// routers and echoed by the receiver. XCP starts with a small window and only
+// grows as fast as routers hand out spare capacity, which is what makes it
+// conservative (§6.3).
+type xcpSender struct{}
+
+func (s *xcpSender) start(c *conn) {
+	c.cwnd = 2 * sim.MTU
+	c.trySendWindow()
+}
+
+func (s *xcpSender) onAck(c *conn, ack *sim.Packet, rtt float64) {
+	c.cwnd += ack.XCPFeedback
+	if c.cwnd < float64(sim.MTU) {
+		c.cwnd = float64(sim.MTU)
+	}
+	maxWindow := 2 * c.eng.serverLinkRate() / 8 * c.rttEstimate()
+	if c.cwnd > maxWindow {
+		c.cwnd = maxWindow
+	}
+	c.trySendWindow()
+}
+
+func (s *xcpSender) onLoss(c *conn) {
+	c.cwnd = math.Max(float64(sim.MTU), c.cwnd/2)
+}
+
+// ---------------------------------------------------------------------------
+// Plain TCP (Reno-like) — used standalone and as Flowtune's fallback.
+
+// renoSender is a plain Reno-like TCP: slow start, AIMD, halving on loss.
+type renoSender struct {
+	ssthresh float64
+}
+
+func newRenoSender() *renoSender { return &renoSender{ssthresh: math.Inf(1)} }
+
+func (s *renoSender) start(c *conn) {
+	c.cwnd = initialWindowBytes
+	c.trySendWindow()
+}
+
+func (s *renoSender) onAck(c *conn, ack *sim.Packet, rtt float64) {
+	if c.cwnd < s.ssthresh {
+		c.cwnd += float64(sim.MTU)
+	} else {
+		c.cwnd += float64(sim.MTU) * float64(sim.MTU) / math.Max(c.cwnd, float64(sim.MTU))
+	}
+	c.trySendWindow()
+}
+
+func (s *renoSender) onLoss(c *conn) {
+	c.cwnd = math.Max(float64(sim.MTU), c.cwnd/2)
+	s.ssthresh = c.cwnd
+}
+
+// newSender builds the sender implementation for a scheme.
+func newSender(s Scheme) sender {
+	switch s {
+	case Flowtune:
+		return &flowtuneSender{}
+	case DCTCP:
+		return newDCTCPSender()
+	case PFabric:
+		return &pfabricSender{}
+	case SFQCoDel:
+		return newCubicSender()
+	case XCP:
+		return &xcpSender{}
+	default:
+		return newRenoSender()
+	}
+}
