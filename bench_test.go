@@ -314,6 +314,7 @@ func BenchmarkNEDIteration(b *testing.B) {
 	}
 	st := num.NewState(prob)
 	ned := &num.NED{Gamma: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ned.Step(prob, st)
@@ -390,6 +391,35 @@ func BenchmarkPartitioningAblation(b *testing.B) {
 				pa.Iterate()
 			}
 		})
+	}
+}
+
+// BenchmarkAllocatorIterate measures a steady-state allocator iteration (NED
+// step + F-NORM + update generation) with no churn; it must report 0
+// allocs/op — the solver scratch, normalizer scratch, compiled CSR index, and
+// the returned update slice are all reused across calls.
+func BenchmarkAllocatorIterate(b *testing.B) {
+	topo, err := flowtune.NewTopology(flowtune.DefaultSimTopologyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := flowtune.NewAllocator(flowtune.AllocatorConfig{Topology: topo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := topo.NumServers()
+	for i := 0; i < 5000; i++ {
+		if err := alloc.FlowletStart(flowtune.FlowID(i), i%n, (i+7)%n, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		alloc.Iterate()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc.Iterate()
 	}
 }
 

@@ -141,6 +141,7 @@ type Allocator struct {
 	effectiveCapacities []float64
 
 	normalized []float64
+	updates    []RateUpdate // reused across Iterate calls
 	stats      TrafficStats
 
 	// failed models allocator failure for fault-tolerance tests: a failed
@@ -212,8 +213,9 @@ func (a *Allocator) FlowletStart(id FlowID, src, dst int, weight float64) error 
 	a.indexByID[id] = idx
 	// Flow weights are scaled by the link capacity so optimal prices are
 	// O(1), the same scale they are initialized to. Proportional fairness
-	// is unaffected by a uniform scaling of weights.
-	a.problem.Flows = append(a.problem.Flows, num.Flow{
+	// is unaffected by a uniform scaling of weights. AppendFlow keeps the
+	// compiled CSR index in sync incrementally.
+	a.problem.AppendFlow(num.Flow{
 		Route: links,
 		Util:  num.LogUtility{W: weight * a.topo.Config().LinkCapacity},
 	})
@@ -232,12 +234,13 @@ func (a *Allocator) FlowletEnd(id FlowID) error {
 	last := len(a.flows) - 1
 	if idx != last {
 		a.flows[idx] = a.flows[last]
-		a.problem.Flows[idx] = a.problem.Flows[last]
 		a.state.Rates[idx] = a.state.Rates[last]
 		a.indexByID[a.flows[idx].id] = idx
 	}
 	a.flows = a.flows[:last]
-	a.problem.Flows = a.problem.Flows[:last]
+	// RemoveFlowSwap applies the same swap-delete to the problem and its
+	// compiled CSR index.
+	a.problem.RemoveFlowSwap(idx)
 	a.state.Resize(last)
 	delete(a.indexByID, id)
 	a.stats.EndNotifications++
@@ -267,7 +270,7 @@ func (a *Allocator) Failed() bool { return a.failed }
 // Iterate runs one allocator iteration: a NED step over the registered flows,
 // normalization, and threshold-based rate-update generation. It returns the
 // rate updates that would be sent to endpoints this iteration. The returned
-// slice is reused across calls.
+// slice is reused across calls and is only valid until the next call.
 func (a *Allocator) Iterate() []RateUpdate {
 	if a.failed || len(a.flows) == 0 {
 		return nil
@@ -276,7 +279,7 @@ func (a *Allocator) Iterate() []RateUpdate {
 	a.cfg.Solver.Step(&a.problem, a.state)
 	a.normalized = a.cfg.Normalizer.Normalize(&a.problem, a.state.Rates, a.normalized)
 
-	updates := make([]RateUpdate, 0, len(a.flows))
+	updates := a.updates[:0]
 	thr := a.cfg.UpdateThreshold
 	for i := range a.flows {
 		rate := a.normalized[i]
@@ -290,6 +293,7 @@ func (a *Allocator) Iterate() []RateUpdate {
 			a.stats.RateUpdatesSuppressed++
 		}
 	}
+	a.updates = updates
 	return updates
 }
 

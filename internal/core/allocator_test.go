@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/norm"
@@ -327,6 +328,85 @@ func TestRateUnknownFlow(t *testing.T) {
 	if got := a.Rate(99); got != 0 {
 		t.Errorf("Rate(unknown) = %g, want 0", got)
 	}
+}
+
+// TestAllocatorChurnIndexConsistency drives randomized FlowletStart and
+// FlowletEnd churn and asserts that after every swap-delete the compiled CSR
+// index, the allocator's indexByID map, its flowState slice, and the solver's
+// Rates slice stay mutually consistent: every registered ID maps to the slot
+// holding its flow, whose compiled route matches the problem's route.
+func TestAllocatorChurnIndexConsistency(t *testing.T) {
+	a := newTestAllocator(t, Config{})
+	rng := rand.New(rand.NewSource(5))
+	numServers := a.Config().Topology.NumServers()
+	nextID := FlowID(1)
+	var live []FlowID
+
+	check := func() {
+		t.Helper()
+		if len(a.flows) != len(a.indexByID) || a.NumFlows() != len(a.problem.Flows) {
+			t.Fatalf("size mismatch: %d flows, %d ids, %d problem flows",
+				len(a.flows), len(a.indexByID), len(a.problem.Flows))
+		}
+		if len(a.state.Rates) != a.NumFlows() {
+			t.Fatalf("Rates has %d entries for %d flows", len(a.state.Rates), a.NumFlows())
+		}
+		c := a.problem.Compiled()
+		if c.NumFlows() != a.NumFlows() {
+			t.Fatalf("compiled has %d flows, allocator has %d", c.NumFlows(), a.NumFlows())
+		}
+		for id, idx := range a.indexByID {
+			f := a.flows[idx]
+			if f.id != id {
+				t.Fatalf("indexByID[%d] = %d, but slot holds flow %d", id, idx, f.id)
+			}
+			// The compiled route must match both the problem's route slice
+			// and the topology's route for the flow's endpoints.
+			want, err := a.Config().Topology.Route(f.src, f.dst, int(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := c.Route(idx)
+			probRoute := a.problem.Flows[idx].Route
+			if len(got) != len(want) || len(probRoute) != len(want) {
+				t.Fatalf("flow %d: route lengths diverge: compiled %v, problem %v, topo %v", id, got, probRoute, want)
+			}
+			for j := range want {
+				if got[j] != int32(want[j]) || probRoute[j] != int32(want[j]) {
+					t.Fatalf("flow %d: compiled %v / problem %v, want %v", id, got, probRoute, want)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 1500; step++ {
+		if rng.Float64() < 0.55 || len(live) == 0 {
+			src := rng.Intn(numServers)
+			dst := rng.Intn(numServers - 1)
+			if dst >= src {
+				dst++
+			}
+			if err := a.FlowletStart(nextID, src, dst, 1+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, nextID)
+			nextID++
+		} else {
+			i := rng.Intn(len(live))
+			if err := a.FlowletEnd(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%10 == 0 {
+			a.Iterate()
+		}
+		if step%23 == 0 || len(live) < 2 {
+			check()
+		}
+	}
+	check()
 }
 
 func TestSignificantChange(t *testing.T) {

@@ -17,23 +17,24 @@ type ParallelFlow struct {
 	Weight float64
 }
 
-// pflow is the per-FlowBlock representation of a flow: link positions are
-// pre-resolved into the FlowBlock's two LinkBlocks so the inner loop touches
-// only block-local state.
-type pflow struct {
-	id      FlowID
-	weight  float64
-	upIdx   []int32 // positions within the source block's upward LinkBlock
-	downIdx []int32 // positions within the destination block's downward LinkBlock
-	rate    float64
-}
-
-// flowBlock is the state owned by one worker: its flows, its local copies of
-// the two LinkBlocks it updates, and scratch space for aggregation.
+// flowBlock is the state owned by one worker: its flows in a flat CSR layout
+// (no per-flow slices — link positions for all flows live concatenated in two
+// arenas, mirroring num.Compiled), its local copies of the two LinkBlocks it
+// updates, and scratch space for aggregation.
 type flowBlock struct {
 	srcBlock, dstBlock int
 
-	flows []pflow
+	// Per-flow state, parallel slices indexed by block-local flow index.
+	ids     []FlowID
+	weights []float64
+	rates   []float64
+
+	// CSR link-position indices: flow i touches positions
+	// upIdx[upOff[i]:upOff[i+1]] of the source block's upward LinkBlock and
+	// downIdx[downOff[i]:downOff[i+1]] of the destination block's downward
+	// LinkBlock.
+	upIdx, upOff     []int32
+	downIdx, downOff []int32
 
 	// Local copies of link state (§5): prices are copied in during the
 	// distribute step; loads and Hessian diagonals are accumulated locally
@@ -43,14 +44,19 @@ type flowBlock struct {
 	upHdiag, downHdiag []float64
 }
 
+// numFlows returns the number of flows loaded into the block.
+func (fb *flowBlock) numFlows() int { return len(fb.ids) }
+
 // linkBlockState is the authoritative state of one LinkBlock (prices persist
 // across iterations; capacities are fixed).
 type linkBlockState struct {
 	links []topology.LinkID
 	price []float64
 	cap   []float64
-	// posOf maps LinkID to its position within the block.
-	posOf map[topology.LinkID]int32
+	// posOf maps LinkID to its position within the block (-1 when the link
+	// is not in the block); a dense array indexed by LinkID replaces the
+	// map lookup on the SetFlows path.
+	posOf []int32
 }
 
 func newLinkBlockState(t *topology.Topology, links []topology.LinkID, headroom float64) *linkBlockState {
@@ -58,7 +64,10 @@ func newLinkBlockState(t *topology.Topology, links []topology.LinkID, headroom f
 		links: links,
 		price: make([]float64, len(links)),
 		cap:   make([]float64, len(links)),
-		posOf: make(map[topology.LinkID]int32, len(links)),
+		posOf: make([]int32, t.NumLinks()),
+	}
+	for i := range s.posOf {
+		s.posOf[i] = -1
 	}
 	for i, l := range links {
 		s.price[i] = 1
@@ -183,7 +192,13 @@ func (p *ParallelAllocator) AggregationSteps() int { return p.part.AggregationSt
 // Iterate call is in flight.
 func (p *ParallelAllocator) SetFlows(flows []ParallelFlow) error {
 	for _, fb := range p.fbs {
-		fb.flows = fb.flows[:0]
+		fb.ids = fb.ids[:0]
+		fb.weights = fb.weights[:0]
+		fb.rates = fb.rates[:0]
+		fb.upIdx = fb.upIdx[:0]
+		fb.downIdx = fb.downIdx[:0]
+		fb.upOff = append(fb.upOff[:0], 0)
+		fb.downOff = append(fb.downOff[:0], 0)
 	}
 	for _, f := range flows {
 		route, err := p.topo.Route(f.Src, f.Dst, int(f.ID))
@@ -197,21 +212,24 @@ func (p *ParallelAllocator) SetFlows(flows []ParallelFlow) error {
 		if weight == 0 {
 			weight = 1
 		}
-		// Weights are scaled by link capacity (as in the sequential
-		// allocator) so prices stay O(1).
-		pf := pflow{id: f.ID, weight: weight * p.topo.Config().LinkCapacity}
 		for _, l := range route {
-			if pos, ok := p.up[sb].posOf[l]; ok {
-				pf.upIdx = append(pf.upIdx, pos)
+			if pos := p.up[sb].posOf[l]; pos >= 0 {
+				fb.upIdx = append(fb.upIdx, pos)
 				continue
 			}
-			if pos, ok := p.down[db].posOf[l]; ok {
-				pf.downIdx = append(pf.downIdx, pos)
+			if pos := p.down[db].posOf[l]; pos >= 0 {
+				fb.downIdx = append(fb.downIdx, pos)
 				continue
 			}
 			return fmt.Errorf("core: flow %d: link %d is in neither its upward nor its downward LinkBlock", f.ID, l)
 		}
-		fb.flows = append(fb.flows, pf)
+		fb.ids = append(fb.ids, f.ID)
+		// Weights are scaled by link capacity (as in the sequential
+		// allocator) so prices stay O(1).
+		fb.weights = append(fb.weights, weight*p.topo.Config().LinkCapacity)
+		fb.rates = append(fb.rates, 0)
+		fb.upOff = append(fb.upOff, int32(len(fb.upIdx)))
+		fb.downOff = append(fb.downOff, int32(len(fb.downIdx)))
 	}
 	p.numFlows = len(flows)
 	return nil
@@ -322,29 +340,31 @@ func (p *ParallelAllocator) rateUpdatePhase(fb *flowBlock) {
 		fb.downLoad[i] = 0
 		fb.downHdiag[i] = 0
 	}
-	for i := range fb.flows {
-		f := &fb.flows[i]
+	for i := 0; i < fb.numFlows(); i++ {
+		up := fb.upIdx[fb.upOff[i]:fb.upOff[i+1]]
+		down := fb.downIdx[fb.downOff[i]:fb.downOff[i+1]]
 		priceSum := 0.0
-		for _, pos := range f.upIdx {
+		for _, pos := range up {
 			priceSum += fb.upPrice[pos]
 		}
-		for _, pos := range f.downIdx {
+		for _, pos := range down {
 			priceSum += fb.downPrice[pos]
 		}
 		if priceSum < minParallelPrice {
 			priceSum = minParallelPrice
 		}
-		x := f.weight / priceSum
+		w := fb.weights[i]
+		x := w / priceSum
 		if x > p.maxRate {
 			x = p.maxRate
 		}
-		d := -f.weight / (priceSum * priceSum)
-		f.rate = x
-		for _, pos := range f.upIdx {
+		d := -w / (priceSum * priceSum)
+		fb.rates[i] = x
+		for _, pos := range up {
 			fb.upLoad[pos] += x
 			fb.upHdiag[pos] += d
 		}
-		for _, pos := range f.downIdx {
+		for _, pos := range down {
 			fb.downLoad[pos] += x
 			fb.downHdiag[pos] += d
 		}
@@ -381,21 +401,20 @@ func (p *ParallelAllocator) normalizePhase(fb *flowBlock) {
 	downOwner := p.fbs[fb.dstBlock]           // (0, dstBlock)
 	upCap := p.up[fb.srcBlock].cap
 	downCap := p.down[fb.dstBlock].cap
-	for i := range fb.flows {
-		f := &fb.flows[i]
+	for i := 0; i < fb.numFlows(); i++ {
 		worst := 1.0
-		for _, pos := range f.upIdx {
+		for _, pos := range fb.upIdx[fb.upOff[i]:fb.upOff[i+1]] {
 			if r := upOwner.upLoad[pos] / upCap[pos]; r > worst {
 				worst = r
 			}
 		}
-		for _, pos := range f.downIdx {
+		for _, pos := range fb.downIdx[fb.downOff[i]:fb.downOff[i+1]] {
 			if r := downOwner.downLoad[pos] / downCap[pos]; r > worst {
 				worst = r
 			}
 		}
 		if worst > 1 {
-			f.rate /= worst
+			fb.rates[i] /= worst
 		}
 	}
 }
@@ -405,8 +424,8 @@ func (p *ParallelAllocator) normalizePhase(fb *flowBlock) {
 func (p *ParallelAllocator) Rates() map[FlowID]float64 {
 	out := make(map[FlowID]float64, p.numFlows)
 	for _, fb := range p.fbs {
-		for i := range fb.flows {
-			out[fb.flows[i].id] = fb.flows[i].rate
+		for i, id := range fb.ids {
+			out[id] = fb.rates[i]
 		}
 	}
 	return out

@@ -124,8 +124,9 @@ func (cs *churnState) admit(now float64) error {
 			links[i] = int32(l)
 		}
 		// Weights are scaled by link capacity so optimal prices are O(1),
-		// matching the allocator's convention.
-		cs.prob.Flows = append(cs.prob.Flows, num.Flow{Route: links, Util: num.LogUtility{W: cs.topo.Config().LinkCapacity}})
+		// matching the allocator's convention. AppendFlow keeps the
+		// compiled CSR index in sync across churn.
+		cs.prob.AppendFlow(num.Flow{Route: links, Util: num.LogUtility{W: cs.topo.Config().LinkCapacity}})
 		cs.ids = append(cs.ids, f.ID)
 		cs.bytes = append(cs.bytes, float64(f.SizeBytes))
 	}
@@ -139,12 +140,13 @@ func (cs *churnState) drain(st *num.State, rates []float64, interval float64) {
 		cs.bytes[i] -= rates[i] / 8 * interval
 		if cs.bytes[i] <= 0 {
 			last := len(cs.prob.Flows) - 1
-			cs.prob.Flows[i] = cs.prob.Flows[last]
 			cs.ids[i] = cs.ids[last]
 			cs.bytes[i] = cs.bytes[last]
 			st.Rates[i] = st.Rates[last]
 			rates[i] = rates[last]
-			cs.prob.Flows = cs.prob.Flows[:last]
+			// RemoveFlowSwap applies the same swap-delete to the problem
+			// and its compiled CSR index.
+			cs.prob.RemoveFlowSwap(i)
 			cs.ids = cs.ids[:last]
 			cs.bytes = cs.bytes[:last]
 			st.Resize(last)
@@ -313,14 +315,15 @@ func RunNormalizationComparison(algorithm string, cfg NormalizationConfig) ([]No
 	}, nil
 }
 
-// computeOptimalThroughput runs NED to convergence on a copy of the problem
-// and returns the converged (feasible, F-NORM-ed) total throughput.
+// computeOptimalThroughput runs NED to convergence with fresh state (leaving
+// the online solver's prices untouched) and returns the converged (feasible,
+// F-NORM-ed) total throughput. The problem itself is not mutated, so its
+// compiled index is shared with the online iteration.
 func computeOptimalThroughput(p *num.Problem) float64 {
-	ref := &num.Problem{Capacities: p.Capacities, Flows: p.Flows, MaxFlowRate: p.MaxFlowRate}
-	st := num.NewState(ref)
+	st := num.NewState(p)
 	solver := &num.NED{Gamma: 1}
-	_, _ = num.Solve(solver, ref, st, num.SolveOptions{MaxIterations: 300, Tolerance: 1e-6})
-	rates := norm.NewFNorm().Normalize(ref, st.Rates, nil)
+	_, _ = num.Solve(solver, p, st, num.SolveOptions{MaxIterations: 300, Tolerance: 1e-6})
+	rates := norm.NewFNorm().Normalize(p, st.Rates, nil)
 	return num.TotalThroughput(rates)
 }
 

@@ -95,10 +95,16 @@ func (f *FNorm) Name() string { return "F-NORM" }
 func (f *FNorm) Normalize(p *num.Problem, rates []float64, out []float64) []float64 {
 	out = ensureOut(out, len(rates))
 	f.ratios = linkRatios(p, rates, f.ratios)
-	for i, flow := range p.Flows {
+	// Walk the compiled CSR index instead of the per-flow Route slices: one
+	// contiguous pass over the route arena with the reused ratio scratch.
+	c := p.Compiled()
+	routes, off, lens := c.Routes, c.Off, c.Len
+	ratios := f.ratios
+	for i := range off {
 		worst := 0.0
-		for _, l := range flow.Route {
-			if r := f.ratios[l]; r > worst {
+		o := off[i]
+		for _, l := range routes[o : o+lens[i]] {
+			if r := ratios[l]; r > worst {
 				worst = r
 			}
 		}

@@ -25,10 +25,18 @@ func (f Flow) utility() Utility {
 
 // Problem is a static NUM instance: link capacities and a set of flows.
 // Solvers iterate on a State derived from the problem.
+//
+// Copying a Problem by value is safe but forfeits the compiled-index cache:
+// the copy detects that the cache belongs to the original and builds its own
+// on first use.
 type Problem struct {
 	// Capacities holds the capacity of each link in bits per second.
 	Capacities []float64
-	// Flows is the set of flows to allocate.
+	// Flows is the set of flows to allocate. Prefer mutating it through
+	// AppendFlow/RemoveFlowSwap, which keep the compiled CSR index (see
+	// Compiled) in sync incrementally. Direct mutation is supported as long
+	// as the flow count differs between solver steps; code that replaces
+	// flows without changing the count must call Invalidate.
 	Flows []Flow
 	// MaxFlowRate caps each flow's rate in the rate-update step, modelling
 	// the fact that an endpoint cannot send faster than its NIC. Zero
@@ -37,6 +45,11 @@ type Problem struct {
 	// rate, grossly inflating the over-allocation the normalizer has to
 	// absorb.
 	MaxFlowRate float64
+
+	// compiled caches the CSR index over Flows; version is the mutation
+	// counter used to detect staleness.
+	compiled *Compiled
+	version  uint64
 }
 
 // Validate checks that all routes reference valid links and capacities are
@@ -114,9 +127,13 @@ func LinkLoads(p *Problem, rates []float64, out []float64) []float64 {
 	for i := range out {
 		out[i] = 0
 	}
-	for i, f := range p.Flows {
-		for _, l := range f.Route {
-			out[l] += rates[i]
+	c := p.Compiled()
+	routes, off, lens := c.Routes, c.Off, c.Len
+	for i := range off {
+		r := rates[i]
+		o := off[i]
+		for _, l := range routes[o : o+lens[i]] {
+			out[l] += r
 		}
 	}
 	return out
@@ -138,9 +155,14 @@ func OverAllocation(p *Problem, rates []float64) float64 {
 
 // Objective returns the NUM objective Σ U_s(x_s) for the given rates.
 func Objective(p *Problem, rates []float64) float64 {
+	c := p.Compiled()
 	sum := 0.0
-	for i, f := range p.Flows {
-		sum += f.utility().Value(rates[i])
+	for i := range c.Off {
+		if u := c.utility(i); u != nil {
+			sum += u.Value(rates[i])
+			continue
+		}
+		sum += LogUtility{W: c.Weights[i]}.Value(rates[i])
 	}
 	return sum
 }

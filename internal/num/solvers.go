@@ -22,9 +22,8 @@ type Solver interface {
 // scratch holds per-iteration working buffers shared by solvers to avoid
 // reallocating on every step.
 type scratch struct {
-	loads  []float64 // per-link aggregate rate
-	hdiag  []float64 // per-link Hessian diagonal H_ll
-	prices []float64 // per-flow path price sums (only for measurement solvers)
+	loads []float64 // per-link aggregate rate
+	hdiag []float64 // per-link Hessian diagonal H_ll
 }
 
 func (s *scratch) ensure(numLinks int) {
@@ -43,31 +42,113 @@ func (s *scratch) ensure(numLinks int) {
 // minPrice clamps the path price away from zero so log-utility rates stay
 // finite when all prices on a path drop to zero.
 func rateUpdate(p *Problem, st *State, sc *scratch, hessian bool, minPrice float64) {
+	c := p.Compiled()
 	sc.ensure(len(p.Capacities))
-	for i := range sc.loads {
-		sc.loads[i] = 0
-		sc.hdiag[i] = 0
+	loads, hdiag := sc.loads, sc.hdiag
+	for i := range loads {
+		loads[i] = 0
+		hdiag[i] = 0
 	}
-	for i, f := range p.Flows {
-		ps := st.PathPrice(f.Route)
+	if c.AllLog() {
+		rateUpdateLog(c, p.MaxFlowRate, st, loads, hdiag, hessian, minPrice)
+		return
+	}
+	rateUpdateGeneric(c, p.MaxFlowRate, st, loads, hdiag, hessian, minPrice)
+}
+
+// rateUpdateLog is the monomorphized log-utility fast path: every flow's rate
+// is w/p and its sensitivity -w/p², computed straight from the CSR index with
+// no interface dispatch and no per-flow pointer chasing.
+func rateUpdateLog(c *Compiled, maxRate float64, st *State, loads, hdiag []float64, hessian bool, minPrice float64) {
+	routes, off, lens, weights := c.Routes, c.Off, c.Len, c.Weights
+	prices, rates := st.Prices, st.Rates
+	if hessian {
+		for i := range off {
+			o := off[i]
+			route := routes[o : o+lens[i]]
+			ps := 0.0
+			for _, l := range route {
+				ps += prices[l]
+			}
+			if ps < minPrice {
+				ps = minPrice
+			}
+			w := weights[i]
+			x := w / ps
+			if maxRate > 0 && x > maxRate {
+				x = maxRate
+			}
+			rates[i] = x
+			d := -w / (ps * ps)
+			for _, l := range route {
+				loads[l] += x
+				hdiag[l] += d
+			}
+		}
+		return
+	}
+	for i := range off {
+		o := off[i]
+		route := routes[o : o+lens[i]]
+		ps := 0.0
+		for _, l := range route {
+			ps += prices[l]
+		}
 		if ps < minPrice {
 			ps = minPrice
 		}
-		u := f.utility()
-		x := u.Rate(ps)
-		if p.MaxFlowRate > 0 && x > p.MaxFlowRate {
-			x = p.MaxFlowRate
+		x := weights[i] / ps
+		if maxRate > 0 && x > maxRate {
+			x = maxRate
 		}
-		st.Rates[i] = x
-		if hessian {
-			d := u.RateDeriv(ps)
-			for _, l := range f.Route {
-				sc.loads[l] += x
-				sc.hdiag[l] += d
+		rates[i] = x
+		for _, l := range route {
+			loads[l] += x
+		}
+	}
+}
+
+// rateUpdateGeneric handles problems mixing custom utilities: log-utility
+// flows still take the inline formulas, the rest dispatch through the
+// interface.
+func rateUpdateGeneric(c *Compiled, maxRate float64, st *State, loads, hdiag []float64, hessian bool, minPrice float64) {
+	routes, off, lens := c.Routes, c.Off, c.Len
+	prices, rates := st.Prices, st.Rates
+	for i := range off {
+		o := off[i]
+		route := routes[o : o+lens[i]]
+		ps := 0.0
+		for _, l := range route {
+			ps += prices[l]
+		}
+		if ps < minPrice {
+			ps = minPrice
+		}
+		var x, d float64
+		if u := c.Utils[i]; u != nil {
+			x = u.Rate(ps)
+			if hessian {
+				d = u.RateDeriv(ps)
 			}
 		} else {
-			for _, l := range f.Route {
-				sc.loads[l] += x
+			w := c.Weights[i]
+			x = w / ps
+			if hessian {
+				d = -w / (ps * ps)
+			}
+		}
+		if maxRate > 0 && x > maxRate {
+			x = maxRate
+		}
+		rates[i] = x
+		if hessian {
+			for _, l := range route {
+				loads[l] += x
+				hdiag[l] += d
+			}
+		} else {
+			for _, l := range route {
+				loads[l] += x
 			}
 		}
 	}
@@ -227,21 +308,27 @@ func (f *FGM) Name() string { return "FGM" }
 // per-iteration values NED computes; the bound goes stale as prices move and
 // as flowlets churn, which is the source of its misbehaviour in Figure 12.
 func (f *FGM) estimateLipschitz(p *Problem) []float64 {
+	c := p.Compiled()
 	share := make([]float64, len(p.Capacities))
+	// For LogUtility |RateDeriv(1)| = w, so the fast path reduces to a max
+	// over the dense weights.
 	maxDeriv := 1.0
-	for _, fl := range p.Flows {
-		if d := math.Abs(fl.utility().RateDeriv(1)); d > maxDeriv {
-			maxDeriv = d
+	for i, w := range c.Weights {
+		if u := c.utility(i); u != nil {
+			w = math.Abs(u.RateDeriv(1))
 		}
-		for _, l := range fl.Route {
-			share[l]++
+		if w > maxDeriv {
+			maxDeriv = w
 		}
 	}
+	// Per-link flow counts come straight from the transposed index.
+	_, linkOff := c.Transpose(len(p.Capacities))
 	for l := range share {
-		if share[l] == 0 {
-			share[l] = 1
+		n := float64(linkOff[l+1] - linkOff[l])
+		if n == 0 {
+			n = 1
 		}
-		share[l] *= maxDeriv
+		share[l] = n * maxDeriv
 	}
 	return share
 }

@@ -23,11 +23,11 @@ type SFQCoDelQueue struct {
 	// Quantum is the DRR quantum in bytes (default one MTU + headers).
 	Quantum int
 
-	buckets  map[int]*codelBucket
-	active   []int // round-robin order of non-empty bucket ids
-	bytes    int
-	count    int
-	onDrop   func(*Packet)
+	buckets map[int]*codelBucket
+	active  []int // round-robin order of non-empty bucket ids
+	bytes   int
+	count   int
+	onDrop  func(*Packet)
 }
 
 // codelBucket is one SFQ bucket with its own FIFO and CoDel state.
@@ -37,10 +37,10 @@ type codelBucket struct {
 	deficit int
 
 	// CoDel state (per RFC 8289, simplified).
-	dropping      bool
-	firstAboveAt  Time
-	dropNextAt    Time
-	dropCount     int
+	dropping     bool
+	firstAboveAt Time
+	dropNextAt   Time
+	dropCount    int
 }
 
 // NewSFQCoDelQueue builds an sfqCoDel queue for a link with the given rate.

@@ -33,16 +33,16 @@ type conn struct {
 
 	// Sender state.
 	snd           sender
-	nextSeq       int64           // next new payload byte to send
-	ackedBytes    int64           // total payload bytes acknowledged
-	unacked       map[int64]int   // segment start -> payload length
-	inflight      int64           // bytes sent but not yet acknowledged
-	cwnd          float64         // congestion window in bytes (window schemes)
-	paceRate      float64         // pacing rate in bits/s (rate schemes); 0 disables pacing
-	pacing        bool            // a pacing send is scheduled
-	ecnCapable    bool            // set ECN-capable on data packets
-	senderDone    bool            // all bytes acknowledged
-	retxQueue     []int64         // segments awaiting retransmission
+	nextSeq       int64         // next new payload byte to send
+	ackedBytes    int64         // total payload bytes acknowledged
+	unacked       map[int64]int // segment start -> payload length
+	inflight      int64         // bytes sent but not yet acknowledged
+	cwnd          float64       // congestion window in bytes (window schemes)
+	paceRate      float64       // pacing rate in bits/s (rate schemes); 0 disables pacing
+	pacing        bool          // a pacing send is scheduled
+	ecnCapable    bool          // set ECN-capable on data packets
+	senderDone    bool          // all bytes acknowledged
+	retxQueue     []int64       // segments awaiting retransmission
 	retxScheduled bool
 	rtoArmed      bool
 	lastProgress  float64 // time of last new ack, for the RTO timer

@@ -168,17 +168,17 @@ func (e *Engine) AddFlowlet(f workload.Flowlet) error {
 		return err
 	}
 	c := &conn{
-		eng:     e,
-		id:      f.ID,
-		src:     f.Src,
-		dst:     f.Dst,
-		size:    f.SizeBytes,
-		fwdPath: pathToInt32(fwd),
-		revPath: pathToInt32(rev),
-		baseRTT: e.topo.BaseRTT(f.Src, f.Dst),
-		unacked: make(map[int64]int),
+		eng:      e,
+		id:       f.ID,
+		src:      f.Src,
+		dst:      f.Dst,
+		size:     f.SizeBytes,
+		fwdPath:  pathToInt32(fwd),
+		revPath:  pathToInt32(rev),
+		baseRTT:  e.topo.BaseRTT(f.Src, f.Dst),
+		unacked:  make(map[int64]int),
 		received: make(map[int64]int),
-		snd:     newSender(e.cfg.Scheme),
+		snd:      newSender(e.cfg.Scheme),
 	}
 	idealRate := e.serverLinkRate()
 	e.records = append(e.records, metrics.FlowRecord{

@@ -65,11 +65,11 @@ func (s *flowtuneSender) setRate(c *conn, rate float64) {
 // receiver echoes ECN marks, the sender maintains an EWMA α of the fraction
 // of marked bytes per window, and once per window reduces cwnd by α/2.
 type dctcpSender struct {
-	alpha        float64
-	markedBytes  float64
-	windowBytes  float64
-	windowEnd    int64 // ackedBytes value at which the current window closes
-	g            float64
+	alpha       float64
+	markedBytes float64
+	windowBytes float64
+	windowEnd   int64 // ackedBytes value at which the current window closes
+	g           float64
 }
 
 func newDCTCPSender() *dctcpSender { return &dctcpSender{g: 1.0 / 16} }
