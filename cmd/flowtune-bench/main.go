@@ -1,15 +1,26 @@
 // Command flowtune-bench regenerates the tables and figures of the Flowtune
-// paper's evaluation (§6). Each experiment is selected with -experiment; "all"
-// runs every one of them. The -quick flag shrinks durations and sweeps so the
-// full suite completes in a couple of minutes; omit it for the full-scale
-// runs recorded in EXPERIMENTS.md.
+// paper's evaluation (§6) and runs trace-driven workload scenarios.
+//
+// Paper experiments are selected with -experiment; "all" runs every one of
+// them. The -quick flag shrinks durations and sweeps so the full suite
+// completes in a couple of minutes; omit it for the full-scale runs recorded
+// in EXPERIMENTS.md.
+//
+// Scenario mode is selected with -scenario: a comma-separated list of named
+// scenarios (or "all"), each combining a fabric, a flow-size distribution, an
+// arrival process, and a traffic pattern. Every scenario prints a summary and
+// writes a machine-readable BENCH_<name>.json into -out; identical seeds
+// produce byte-identical JSON. The -short flag shrinks the fabric and run
+// windows for CI smoke runs. Use -list to enumerate the scenarios.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
@@ -24,8 +35,32 @@ func main() {
 	experiment := flag.String("experiment", "all",
 		"experiment to run: table1, fastpass, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, or all")
 	quick := flag.Bool("quick", false, "run shortened versions of every experiment")
+	scenario := flag.String("scenario", "",
+		"run workload scenarios instead of paper experiments: a comma-separated list of names, or \"all\"")
+	short := flag.Bool("short", false, "shrink scenario fabrics and run windows (CI smoke mode)")
+	outDir := flag.String("out", ".", "directory for scenario BENCH_<name>.json files")
+	list := flag.Bool("list", false, "list the named scenarios and exit")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.ScenarioNames() {
+			fmt.Printf("%-20s %s\n", name, experiments.ScenarioAbout(name))
+		}
+		return
+	}
+	if *scenario != "" {
+		names := strings.Split(*scenario, ",")
+		if *scenario == "all" {
+			names = experiments.ScenarioNames()
+		}
+		for _, name := range names {
+			if err := runScenario(strings.TrimSpace(name), *short, *seed, *outDir); err != nil {
+				log.Fatalf("scenario %s: %v", name, err)
+			}
+		}
+		return
+	}
 
 	names := strings.Split(*experiment, ",")
 	if *experiment == "all" {
@@ -36,6 +71,30 @@ func main() {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}
+}
+
+// runScenario executes one named scenario and writes its BENCH_<name>.json.
+func runScenario(name string, short bool, seed int64, outDir string) error {
+	cfg, err := experiments.NamedScenario(name, short, seed)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(outDir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n\n", path)
+	return nil
 }
 
 // run executes one experiment and prints its rendering.

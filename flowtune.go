@@ -16,11 +16,15 @@
 //   - The optimization machinery: NED and the baseline algorithms (Gradient,
 //     FGM, Newton-like) plus the U-NORM/F-NORM normalizers, for use outside
 //     the allocator.
-//   - The evaluation substrate: a two-tier Clos topology model, the Facebook
-//     Web/Cache/Hadoop flowlet workloads, and a packet-level simulator with
-//     Flowtune, DCTCP, pFabric, Cubic-over-sfqCoDel and XCP endpoints.
+//   - The evaluation substrate: leaf-spine and fat-tree topology models, a
+//     trace-driven workload engine (empirical size CDFs × Poisson or
+//     closed-loop arrivals × uniform/permutation/incast/shuffle patterns),
+//     and a packet-level simulator with Flowtune, DCTCP, pFabric,
+//     Cubic-over-sfqCoDel and XCP endpoints.
 //   - Experiment drivers that regenerate every table and figure of the
-//     paper's evaluation (see the Experiments type and cmd/flowtune-bench).
+//     paper's evaluation, plus a scenario runner that drives the allocator
+//     and simulator under workload churn and emits machine-readable results
+//     (see RunScenario and cmd/flowtune-bench).
 //
 // Quick start:
 //
@@ -36,6 +40,7 @@ package flowtune
 
 import (
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/norm"
 	"repro/internal/num"
@@ -65,12 +70,18 @@ type (
 	Path = topology.Path
 )
 
-// NewTopology builds a two-tier Clos topology.
+// NewTopology builds a two-tier Clos (leaf-spine) topology.
 func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.NewTwoTier(cfg) }
 
 // DefaultSimTopologyConfig returns the paper's simulation fabric: 9 racks of
 // 16 servers, 4 spines, 10 Gbit/s links.
 func DefaultSimTopologyConfig() TopologyConfig { return topology.DefaultSimConfig() }
+
+// FatTreeConfig describes a three-tier k-ary fat-tree fabric.
+type FatTreeConfig = topology.FatTreeConfig
+
+// NewFatTree builds a three-tier k-ary fat-tree topology.
+func NewFatTree(cfg FatTreeConfig) (*Topology, error) { return topology.NewFatTree(cfg) }
 
 // ---------------------------------------------------------------------------
 // Allocator
@@ -163,14 +174,17 @@ func UNorm() Normalizer { return norm.NewUNorm() }
 // ---------------------------------------------------------------------------
 // Workloads
 
-// WorkloadKind selects one of the Facebook workloads (Web, Cache, Hadoop).
+// WorkloadKind selects a built-in flow-size distribution.
 type WorkloadKind = workload.Kind
 
-// Workload kinds from the paper's evaluation.
+// Built-in flow-size distributions: the paper's Facebook workloads plus the
+// DCTCP web-search and VL2 data-mining distributions.
 const (
-	Web    = workload.Web
-	Cache  = workload.Cache
-	Hadoop = workload.Hadoop
+	Web        = workload.Web
+	Cache      = workload.Cache
+	Hadoop     = workload.Hadoop
+	WebSearch  = workload.WebSearch
+	DataMining = workload.DataMining
 )
 
 // Flowlet is one generated flowlet.
@@ -185,6 +199,52 @@ type WorkloadGenerator = workload.Generator
 // NewWorkloadGenerator creates a flowlet generator.
 func NewWorkloadGenerator(cfg WorkloadConfig) (*WorkloadGenerator, error) {
 	return workload.NewGenerator(cfg)
+}
+
+// SizeDist is a flow-size distribution sampled by workload traces.
+type SizeDist = workload.SizeDist
+
+// LoadCDFFile reads an empirical flow-size CDF from a trace file in the
+// classic two- or three-column simulator format.
+func LoadCDFFile(path string) (SizeDist, error) { return workload.LoadCDFFile(path) }
+
+// TrafficPattern selects how flowlet endpoints are chosen.
+type TrafficPattern = workload.PatternKind
+
+// Traffic patterns for workload traces.
+const (
+	PatternUniform     = workload.PatternUniform
+	PatternPermutation = workload.PatternPermutation
+	PatternIncast      = workload.PatternIncast
+	PatternShuffle     = workload.PatternShuffle
+)
+
+// ArrivalProcess selects open-loop Poisson or closed-loop arrivals.
+type ArrivalProcess = workload.ArrivalKind
+
+// Arrival processes for workload traces.
+const (
+	ArrivalPoisson    = workload.ArrivalPoisson
+	ArrivalClosedLoop = workload.ArrivalClosedLoop
+)
+
+// TraceConfig configures a deterministic flowlet trace (size distribution ×
+// arrival process × traffic pattern).
+type TraceConfig = workload.TraceConfig
+
+// Trace is a deterministic, seeded flowlet stream.
+type Trace = workload.Trace
+
+// NewTrace creates a flowlet trace.
+func NewTrace(cfg TraceConfig) (*Trace, error) { return workload.NewTrace(cfg) }
+
+// ChurnEvent is one flowlet add/remove event of a churn stream.
+type ChurnEvent = workload.Event
+
+// ChurnEvents expands a flowlet trace into a time-ordered add/remove stream
+// for allocator-only churn runs; hold decides how long each flowlet stays.
+func ChurnEvents(flows []Flowlet, hold func(Flowlet) float64) []ChurnEvent {
+	return workload.ChurnEvents(flows, hold)
 }
 
 // ---------------------------------------------------------------------------
@@ -217,3 +277,34 @@ type FlowRecord = metrics.FlowRecord
 
 // Percentile returns the p-th percentile of values.
 func Percentile(values []float64, p float64) float64 { return metrics.Percentile(values, p) }
+
+// DistStats summarizes one sample (count, mean, p50, p99, max).
+type DistStats = metrics.DistStats
+
+// Summarize computes DistStats over a sample.
+func Summarize(values []float64) DistStats { return metrics.Summarize(values) }
+
+// ---------------------------------------------------------------------------
+// Scenarios
+
+// ScenarioConfig describes one trace-driven scenario run: a fabric, a
+// workload trace, and a scheme driven through the packet simulator.
+type ScenarioConfig = experiments.ScenarioConfig
+
+// ScenarioResult is the machine-readable outcome of a scenario run (the
+// BENCH_*.json schema of cmd/flowtune-bench).
+type ScenarioResult = experiments.ScenarioResult
+
+// RunScenario executes one scenario end to end.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	return experiments.RunScenario(cfg)
+}
+
+// NamedScenario returns the configuration of a named scenario (see
+// ScenarioNames); short selects the shrunken CI smoke variant.
+func NamedScenario(name string, short bool, seed int64) (ScenarioConfig, error) {
+	return experiments.NamedScenario(name, short, seed)
+}
+
+// ScenarioNames lists the named scenarios of cmd/flowtune-bench.
+func ScenarioNames() []string { return experiments.ScenarioNames() }

@@ -1,10 +1,3 @@
-// Package core implements Flowtune's centralized flowlet allocator (§2 of
-// the paper): it receives flowlet start and end notifications from endpoints,
-// runs the NED optimizer over the current flow set, normalizes the resulting
-// rates with F-NORM (or U-NORM), and produces rate updates for endpoints,
-// notifying them only when a flow's rate changes by more than a configurable
-// threshold (§6.4). The package also contains the FlowBlock/LinkBlock
-// multicore implementation of the optimizer (§5).
 package core
 
 import (

@@ -1,0 +1,12 @@
+// Package core implements Flowtune's centralized flowlet allocator (§2 of
+// the paper): it receives flowlet start and end notifications from endpoints,
+// runs the NED optimizer over the current flow set, normalizes the resulting
+// rates with F-NORM (or U-NORM), and produces rate updates for endpoints,
+// notifying them only when a flow's rate changes by more than a configurable
+// threshold (§6.4). The package also contains the FlowBlock/LinkBlock
+// multicore implementation of the optimizer (§5).
+//
+// The sequential Allocator is the engine behind the transport simulator's
+// Flowtune endpoints and the scenario runner in internal/experiments; the
+// ParallelAllocator reproduces the paper's multicore scaling study.
+package core

@@ -1,0 +1,14 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure in Flowtune's evaluation (§6), plus the trace-driven scenario
+// runner. Each experiment returns a structured result with a Render method
+// that prints the same rows or series the paper reports; the
+// cmd/flowtune-bench binary and the root benchmark suite are thin wrappers
+// around these drivers.
+//
+// RunScenario is the generic entry point for trace-driven workloads: it
+// builds a fabric (leaf-spine or fat-tree), generates a seeded flowlet trace
+// from internal/workload, drives the allocator and packet simulator under
+// churn, and condenses FCT/throughput statistics into a deterministic,
+// JSON-serializable ScenarioResult. NamedScenario exposes the curated
+// scenario registry used by `flowtune-bench -scenario`.
+package experiments

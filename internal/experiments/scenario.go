@@ -1,0 +1,452 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// TopologyKind selects the fabric family a scenario runs on.
+type TopologyKind int
+
+const (
+	// TopoLeafSpine is a two-tier Clos fabric (the paper's fabric).
+	TopoLeafSpine TopologyKind = iota
+	// TopoFatTree is a three-tier k-ary fat-tree.
+	TopoFatTree
+)
+
+// String returns "leafspine" or "fattree".
+func (t TopologyKind) String() string {
+	if t == TopoFatTree {
+		return "fattree"
+	}
+	return "leafspine"
+}
+
+// ScenarioConfig describes one trace-driven scenario run: a fabric, a
+// workload trace (size distribution × arrival process × traffic pattern), and
+// a congestion-control scheme driven through the packet simulator with the
+// Flowtune allocator in the loop.
+type ScenarioConfig struct {
+	// Name labels the run in reports and output file names.
+	Name string
+	// Scheme is the congestion-control scheme (default Flowtune).
+	Scheme transport.Scheme
+	// Topology selects the fabric family.
+	Topology TopologyKind
+	// LeafSpine overrides the two-tier fabric (default: the paper's
+	// 9 racks × 16 servers, 4 spines simulation fabric).
+	LeafSpine *topology.Config
+	// FatTreeK is the fat-tree radix when Topology is TopoFatTree
+	// (default 4).
+	FatTreeK int
+	// Pattern, Arrival, Workload, Dist, Load, IncastFanIn, IncastTarget,
+	// Concurrency and ThinkTime configure the workload trace; see
+	// workload.TraceConfig.
+	Pattern      workload.PatternKind
+	Arrival      workload.ArrivalKind
+	Workload     workload.Kind
+	Dist         workload.SizeDist
+	Load         float64
+	IncastFanIn  int
+	IncastTarget int
+	Concurrency  int
+	ThinkTime    float64
+	// Warmup precedes measurement: flows arriving during warmup are
+	// simulated but excluded from the statistics.
+	Warmup float64
+	// Duration is the measured window after warmup.
+	Duration float64
+	// Seed seeds the workload trace. Identical configurations and seeds
+	// produce byte-identical results.
+	Seed int64
+}
+
+// withDefaults fills unset scenario fields.
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("%s-%s-%s", c.Workload, c.Arrival, c.Pattern)
+	}
+	if c.FatTreeK == 0 {
+		c.FatTreeK = 4
+	}
+	if c.Load == 0 {
+		c.Load = 0.6
+	}
+	if c.Duration == 0 {
+		c.Duration = 5e-3
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1e-3
+	}
+	return c
+}
+
+// buildTopology constructs the scenario's fabric.
+func (c ScenarioConfig) buildTopology() (*topology.Topology, string, error) {
+	if c.Topology == TopoFatTree {
+		base := topology.DefaultSimConfig()
+		topo, err := topology.NewFatTree(topology.FatTreeConfig{
+			K:             c.FatTreeK,
+			LinkCapacity:  base.LinkCapacity,
+			LinkDelay:     base.LinkDelay,
+			HostDelay:     base.HostDelay,
+			WithAllocator: true,
+		})
+		return topo, fmt.Sprintf("fattree(k=%d)", c.FatTreeK), err
+	}
+	cfg := topology.DefaultSimConfig()
+	if c.LeafSpine != nil {
+		cfg = *c.LeafSpine
+		cfg.WithAllocator = true
+	}
+	topo, err := topology.NewTwoTier(cfg)
+	return topo, fmt.Sprintf("leafspine(%dx%d,%d spines)", cfg.Racks, cfg.ServersPerRack, cfg.Spines), err
+}
+
+// BucketStats is the per-flow-size-bucket slice of a scenario result.
+type BucketStats struct {
+	Bucket   string  `json:"bucket"`
+	Count    int     `json:"count"`
+	MeanNFCT float64 `json:"mean_norm_fct"`
+	P50NFCT  float64 `json:"p50_norm_fct"`
+	P99NFCT  float64 `json:"p99_norm_fct"`
+}
+
+// ScenarioResult is the machine-readable outcome of one scenario run; it is
+// what cmd/flowtune-bench serializes into BENCH_<name>.json. All fields are
+// deterministic functions of the configuration and seed.
+type ScenarioResult struct {
+	// Schema versions the JSON layout.
+	Schema string `json:"schema"`
+	// Run identification.
+	Name     string  `json:"name"`
+	Scheme   string  `json:"scheme"`
+	Topology string  `json:"topology"`
+	Servers  int     `json:"servers"`
+	Pattern  string  `json:"pattern"`
+	Arrival  string  `json:"arrival"`
+	Workload string  `json:"workload"`
+	Load     float64 `json:"offered_load"`
+	Seed     int64   `json:"seed"`
+	// Warmup and Duration are the configured windows in seconds.
+	Warmup   float64 `json:"warmup_sec"`
+	Duration float64 `json:"duration_sec"`
+	// Flow accounting over the measured window.
+	Flows          int     `json:"flows"`
+	FinishedFlows  int     `json:"finished_flows"`
+	CompletionRate float64 `json:"completion_rate"`
+	// FCTSeconds summarizes absolute flow completion times of finished
+	// measured flows; NormFCT normalizes each by its ideal duration on an
+	// empty fabric (the paper's Figure 8 metric).
+	FCTSeconds metrics.DistStats `json:"fct_sec"`
+	NormFCT    metrics.DistStats `json:"norm_fct"`
+	// Buckets breaks normalized FCT down by the Figure 8 size buckets.
+	Buckets []BucketStats `json:"buckets"`
+	// GoodputBps is the distinct payload bytes delivered to receivers
+	// during the measurement window, as a rate; AchievedLoad is that
+	// goodput as a fraction of aggregate server link capacity.
+	GoodputBps   float64 `json:"goodput_bps"`
+	AchievedLoad float64 `json:"achieved_load"`
+	// Fabric-level counters over the whole run (including warmup).
+	DroppedBytes int64 `json:"dropped_bytes"`
+	ControlBytes int64 `json:"control_bytes"`
+}
+
+// ScenarioResultSchema identifies the current BENCH_*.json layout.
+const ScenarioResultSchema = "flowtune-bench/scenario/v1"
+
+// RunScenario executes one scenario end to end: it builds the fabric,
+// generates the flowlet trace, drives the allocator and packet simulator
+// under churn, and condenses the outcome into a ScenarioResult.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg = cfg.withDefaults()
+	topo, topoName, err := cfg.buildTopology()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+	}
+	horizon := cfg.Warmup + cfg.Duration
+	eng, err := transport.NewEngine(transport.EngineConfig{
+		Scheme:   cfg.Scheme,
+		Topology: topo,
+		Horizon:  horizon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+	}
+	trace, err := workload.NewTrace(workload.TraceConfig{
+		Pattern:            cfg.Pattern,
+		Arrival:            cfg.Arrival,
+		Kind:               cfg.Workload,
+		Dist:               cfg.Dist,
+		NumServers:         topo.NumServers(),
+		ServerLinkCapacity: topo.Config().LinkCapacity,
+		Load:               cfg.Load,
+		Seed:               cfg.Seed,
+		IncastFanIn:        cfg.IncastFanIn,
+		IncastTarget:       cfg.IncastTarget,
+		Concurrency:        cfg.Concurrency,
+		ThinkTime:          cfg.ThinkTime,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+	}
+
+	// Pump the trace into the engine. Open-loop traces are fully known up
+	// front; closed-loop traces emit new arrivals as completions come in.
+	pump := func() error {
+		for {
+			f, ok := trace.NextBefore(horizon)
+			if !ok {
+				return nil
+			}
+			if err := eng.AddFlowlet(f); err != nil {
+				return err
+			}
+		}
+	}
+	var pumpErr error
+	eng.SetFlowCompleteHook(func(id int64, at float64) {
+		trace.Complete(id, at)
+		if err := pump(); err != nil && pumpErr == nil {
+			pumpErr = err
+		}
+	})
+	if err := pump(); err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+	}
+	// Run warmup first so goodput can be measured as the delivered-byte
+	// delta over the measurement window alone.
+	eng.Run(cfg.Warmup)
+	warmupBytes := eng.DeliveredBytes()
+	eng.Run(horizon)
+	if pumpErr != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, pumpErr)
+	}
+
+	res := &ScenarioResult{
+		Schema:   ScenarioResultSchema,
+		Name:     cfg.Name,
+		Scheme:   cfg.Scheme.String(),
+		Topology: topoName,
+		Servers:  topo.NumServers(),
+		Pattern:  cfg.Pattern.String(),
+		Arrival:  cfg.Arrival.String(),
+		Workload: workloadName(cfg),
+		Load:     cfg.Load,
+		Seed:     cfg.Seed,
+		Warmup:   cfg.Warmup,
+		Duration: cfg.Duration,
+	}
+
+	// Statistics over flows that arrived after warmup.
+	var measured []metrics.FlowRecord
+	for _, r := range eng.Records() {
+		if r.Start >= cfg.Warmup {
+			measured = append(measured, r)
+		}
+	}
+	res.Flows = len(measured)
+	res.CompletionRate = metrics.CompletionRate(measured)
+	var fcts, nfcts []float64
+	for _, r := range measured {
+		if !r.Finished() {
+			continue
+		}
+		res.FinishedFlows++
+		fcts = append(fcts, r.FCT())
+		nfcts = append(nfcts, r.NormalizedFCT())
+	}
+	res.FCTSeconds = metrics.Summarize(fcts)
+	res.NormFCT = metrics.Summarize(nfcts)
+	for _, s := range metrics.SummarizeFCT(measured, workload.BucketLabel, workload.Buckets()) {
+		res.Buckets = append(res.Buckets, BucketStats{
+			Bucket:   s.Bucket,
+			Count:    s.Count,
+			MeanNFCT: s.Mean,
+			P50NFCT:  s.P50,
+			P99NFCT:  s.P99,
+		})
+	}
+	res.GoodputBps = float64((eng.DeliveredBytes()-warmupBytes)*8) / cfg.Duration
+	res.AchievedLoad = res.GoodputBps / (float64(topo.NumServers()) * topo.Config().LinkCapacity)
+	res.DroppedBytes = eng.DroppedBytes()
+	res.ControlBytes = eng.ControlBytes()
+	return res, nil
+}
+
+// workloadName labels the size distribution in reports.
+func workloadName(cfg ScenarioConfig) string {
+	if cfg.Dist != nil {
+		return cfg.Dist.Name()
+	}
+	return cfg.Workload.String()
+}
+
+// Render prints a short human-readable summary of a scenario result.
+func (r *ScenarioResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %s on %s (%d servers), %s/%s %s at load %.2f\n",
+		r.Name, r.Scheme, r.Topology, r.Servers, r.Workload, r.Arrival, r.Pattern, r.Load)
+	fmt.Fprintf(&b, "  flows %d, finished %d (%.1f%%)\n", r.Flows, r.FinishedFlows, 100*r.CompletionRate)
+	fmt.Fprintf(&b, "  FCT p50 %.1f µs, p99 %.1f µs; normalized p50 %.2f, p99 %.2f\n",
+		r.FCTSeconds.P50*1e6, r.FCTSeconds.P99*1e6, r.NormFCT.P50, r.NormFCT.P99)
+	fmt.Fprintf(&b, "  goodput %s (%.1f%% of aggregate capacity), dropped %d bytes\n",
+		metrics.FormatRate(r.GoodputBps), 100*r.AchievedLoad, r.DroppedBytes)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Named scenarios
+
+// scenarioSpec builds the full- and short-mode configurations of one named
+// scenario.
+type scenarioSpec struct {
+	about string
+	build func(short bool) ScenarioConfig
+}
+
+// shortLeafSpine is the shrunken two-tier fabric used by -short runs.
+func shortLeafSpine() *topology.Config {
+	cfg := topology.DefaultSimConfig()
+	cfg.Racks = 4
+	cfg.ServersPerRack = 4
+	cfg.Spines = 2
+	return &cfg
+}
+
+// shrink applies the -short run windows.
+func shrink(cfg ScenarioConfig, short bool) ScenarioConfig {
+	if short {
+		cfg.LeafSpine = shortLeafSpine()
+		cfg.Warmup = 0.5e-3
+		cfg.Duration = 1.5e-3
+	}
+	return cfg
+}
+
+// namedScenarios is the scenario registry of cmd/flowtune-bench.
+var namedScenarios = map[string]scenarioSpec{
+	"websearch-poisson": {
+		about: "DCTCP web-search sizes, open-loop Poisson, uniform pairs",
+		build: func(short bool) ScenarioConfig {
+			return shrink(ScenarioConfig{
+				Name:     "websearch-poisson",
+				Workload: workload.WebSearch,
+				Pattern:  workload.PatternUniform,
+				Load:     0.6,
+			}, short)
+		},
+	},
+	"datamining-poisson": {
+		about: "VL2 data-mining sizes, open-loop Poisson, uniform pairs",
+		build: func(short bool) ScenarioConfig {
+			return shrink(ScenarioConfig{
+				Name:     "datamining-poisson",
+				Workload: workload.DataMining,
+				Pattern:  workload.PatternUniform,
+				Load:     0.5,
+			}, short)
+		},
+	},
+	"permutation": {
+		about: "Facebook Web sizes over a fixed server permutation",
+		build: func(short bool) ScenarioConfig {
+			return shrink(ScenarioConfig{
+				Name:     "permutation",
+				Workload: workload.Web,
+				Pattern:  workload.PatternPermutation,
+				Load:     0.7,
+			}, short)
+		},
+	},
+	"incast": {
+		about: "Facebook Cache sizes in synchronized many-to-one bursts",
+		build: func(short bool) ScenarioConfig {
+			cfg := shrink(ScenarioConfig{
+				Name:        "incast",
+				Workload:    workload.Cache,
+				Pattern:     workload.PatternIncast,
+				Load:        0.6,
+				IncastFanIn: 32,
+			}, short)
+			if short {
+				cfg.IncastFanIn = 8
+			}
+			return cfg
+		},
+	},
+	"shuffle": {
+		about: "Facebook Hadoop sizes in an all-to-all shuffle",
+		build: func(short bool) ScenarioConfig {
+			return shrink(ScenarioConfig{
+				Name:     "shuffle",
+				Workload: workload.Hadoop,
+				Pattern:  workload.PatternShuffle,
+				Load:     0.6,
+			}, short)
+		},
+	},
+	"closedloop-cache": {
+		about: "Facebook Cache sizes, closed loop (2 outstanding per server)",
+		build: func(short bool) ScenarioConfig {
+			return shrink(ScenarioConfig{
+				Name:        "closedloop-cache",
+				Workload:    workload.Cache,
+				Pattern:     workload.PatternUniform,
+				Arrival:     workload.ArrivalClosedLoop,
+				Concurrency: 2,
+				ThinkTime:   50e-6,
+			}, short)
+		},
+	},
+	"fattree-websearch": {
+		about: "web-search Poisson traffic on a three-tier fat-tree",
+		build: func(short bool) ScenarioConfig {
+			cfg := shrink(ScenarioConfig{
+				Name:     "fattree-websearch",
+				Topology: TopoFatTree,
+				FatTreeK: 8,
+				Workload: workload.WebSearch,
+				Pattern:  workload.PatternUniform,
+				Load:     0.6,
+			}, short)
+			cfg.LeafSpine = nil // shrink's leaf-spine override does not apply
+			if short {
+				cfg.FatTreeK = 4
+			}
+			return cfg
+		},
+	},
+}
+
+// ScenarioNames lists the named scenarios in a stable order.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(namedScenarios))
+	for n := range namedScenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioAbout returns the one-line description of a named scenario.
+func ScenarioAbout(name string) string { return namedScenarios[name].about }
+
+// NamedScenario returns the configuration of a named scenario. short selects
+// the shrunken fabric and windows used by CI smoke runs.
+func NamedScenario(name string, short bool, seed int64) (ScenarioConfig, error) {
+	spec, ok := namedScenarios[name]
+	if !ok {
+		return ScenarioConfig{}, fmt.Errorf("experiments: unknown scenario %q (have: %s)", name, strings.Join(ScenarioNames(), ", "))
+	}
+	cfg := spec.build(short)
+	cfg.Seed = seed
+	return cfg, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestNamedScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 4 {
+		t.Fatalf("only %d named scenarios, want at least 4", len(names))
+	}
+	for _, required := range []string{"websearch-poisson", "permutation", "incast", "shuffle"} {
+		if _, err := NamedScenario(required, true, 1); err != nil {
+			t.Errorf("NamedScenario(%q): %v", required, err)
+		}
+	}
+	if _, err := NamedScenario("no-such-scenario", true, 1); err == nil {
+		t.Error("NamedScenario accepted an unknown name")
+	}
+}
+
+// runShort executes one named scenario in short mode.
+func runShort(t *testing.T, name string, seed int64) *ScenarioResult {
+	t.Helper()
+	cfg, err := NamedScenario(name, true, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunScenarioIncast(t *testing.T) {
+	res := runShort(t, "incast", 1)
+	if res.Flows == 0 {
+		t.Fatal("no measured flows")
+	}
+	if res.FinishedFlows == 0 || res.CompletionRate <= 0 {
+		t.Fatal("no flows finished")
+	}
+	if res.FCTSeconds.P50 <= 0 || res.FCTSeconds.P99 < res.FCTSeconds.P50 {
+		t.Errorf("implausible FCT stats: %+v", res.FCTSeconds)
+	}
+	if res.GoodputBps <= 0 || res.AchievedLoad <= 0 || res.AchievedLoad > 1 {
+		t.Errorf("implausible throughput stats: goodput %g, load %g", res.GoodputBps, res.AchievedLoad)
+	}
+	if res.Pattern != workload.PatternIncast.String() {
+		t.Errorf("pattern = %q, want incast", res.Pattern)
+	}
+}
+
+// TestScenarioDeterminism runs the same scenario twice and requires
+// byte-identical JSON, which is the reproducibility contract of the
+// BENCH_*.json files.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, name := range []string{"incast", "closedloop-cache"} {
+		a, err := json.Marshal(runShort(t, name, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(runShort(t, name, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: identical seeds produced different JSON:\n%s\n%s", name, a, b)
+		}
+		c, err := json.Marshal(runShort(t, name, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: different seeds produced identical JSON", name)
+		}
+	}
+}
+
+func TestRunScenarioFatTree(t *testing.T) {
+	res := runShort(t, "fattree-websearch", 1)
+	if res.Topology != "fattree(k=4)" {
+		t.Errorf("topology = %q, want fattree(k=4)", res.Topology)
+	}
+	if res.FinishedFlows == 0 {
+		t.Error("no flows finished on the fat-tree")
+	}
+}
+
+func TestRunScenarioClosedLoop(t *testing.T) {
+	res := runShort(t, "closedloop-cache", 1)
+	if res.Arrival != workload.ArrivalClosedLoop.String() {
+		t.Fatalf("arrival = %q, want closedloop", res.Arrival)
+	}
+	// Closed-loop keeps 2 flows per server in flight; over a 1.5 ms window
+	// far more flows than the initial 2×16 must have been issued, which
+	// proves the completion-feedback path works.
+	if res.Flows <= 32 {
+		t.Errorf("only %d measured flows; completion feedback appears broken", res.Flows)
+	}
+}

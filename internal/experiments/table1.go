@@ -1,8 +1,3 @@
-// Package experiments contains the drivers that regenerate every table and
-// figure in Flowtune's evaluation (§6). Each experiment returns a structured
-// result with a Render method that prints the same rows or series the paper
-// reports; the cmd/flowtune-bench binary and the root benchmark suite are
-// thin wrappers around these drivers.
 package experiments
 
 import (

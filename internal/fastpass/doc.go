@@ -1,0 +1,9 @@
+// Package fastpass implements a simplified Fastpass-style centralized
+// arbiter (Perry et al., SIGCOMM 2014), the baseline Flowtune's §6.1 compares
+// against. Fastpass performs per-packet work: for every timeslot (one
+// MTU-sized packet time on a server link) it computes a maximal matching
+// between sources and destinations and admits at most one packet per matched
+// pair. Because work is per packet rather than per flowlet, its allocation
+// throughput is bounded by how many timeslots a core can process per second,
+// which is the quantity the comparison benchmark measures.
+package fastpass

@@ -1,0 +1,9 @@
+// Package metrics collects and summarizes the quantities reported in
+// Flowtune's evaluation: flow completion times (normalized by the ideal
+// transfer time on an empty network and bucketed by flow size), 99th
+// percentile queueing delays, drop rates, throughput time series, and the
+// proportional-fairness score Σ log2(rate).
+//
+// DistStats and Summarize provide the generic count/mean/p50/p99/max summary
+// used by the scenario runner's machine-readable BENCH_*.json output.
+package metrics

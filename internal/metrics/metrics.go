@@ -1,8 +1,3 @@
-// Package metrics collects and summarizes the quantities reported in
-// Flowtune's evaluation: flow completion times (normalized by the ideal
-// transfer time on an empty network and bucketed by flow size), 99th
-// percentile queueing delays, drop rates, throughput time series, and the
-// proportional-fairness score Σ log2(rate).
 package metrics
 
 import (
@@ -20,6 +15,11 @@ func Percentile(values []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already-sorted non-empty sample.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -46,6 +46,34 @@ func Mean(values []float64) float64 {
 		sum += v
 	}
 	return sum / float64(len(values))
+}
+
+// DistStats summarizes one sample of a scalar quantity. The JSON field names
+// are part of the BENCH_*.json schema emitted by cmd/flowtune-bench.
+type DistStats struct {
+	// Count is the sample size.
+	Count int `json:"count"`
+	// Mean is the arithmetic mean (0 for an empty sample).
+	Mean float64 `json:"mean"`
+	// P50 and P99 are the 50th and 99th percentiles.
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+	// Max is the largest observation.
+	Max float64 `json:"max"`
+}
+
+// Summarize computes DistStats over a sample. The input is not modified.
+func Summarize(values []float64) DistStats {
+	s := DistStats{Count: len(values), Mean: Mean(values)}
+	if len(values) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	s.P50 = percentileSorted(sorted, 50)
+	s.P99 = percentileSorted(sorted, 99)
+	s.Max = sorted[len(sorted)-1]
+	return s
 }
 
 // FlowRecord is the outcome of one flow (flowlet) in a simulation.

@@ -1,0 +1,13 @@
+// Package sim is a packet-level discrete-event network simulator. It is the
+// substrate on which Flowtune and the comparison schemes (DCTCP, pFabric,
+// Cubic-over-sfqCoDel, XCP) are evaluated, playing the role ns2 plays in the
+// paper: packets traverse store-and-forward links with finite-capacity
+// queues, experience queueing delay, ECN marking and drops, and all control
+// traffic shares the network with data traffic.
+//
+// The Simulator is a plain event heap with deterministic FIFO ordering of
+// same-time events, so every run is reproducible for a given input; the
+// Network wires a topology.Topology into per-link queues and transmitters
+// with pluggable queue disciplines (drop-tail, pFabric priority, sfqCoDel,
+// XCP).
+package sim

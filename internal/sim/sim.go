@@ -1,9 +1,3 @@
-// Package sim is a packet-level discrete-event network simulator. It is the
-// substrate on which Flowtune and the comparison schemes (DCTCP, pFabric,
-// Cubic-over-sfqCoDel, XCP) are evaluated, playing the role ns2 plays in the
-// paper: packets traverse store-and-forward links with finite-capacity
-// queues, experience queueing delay, ECN marking and drops, and all control
-// traffic shares the network with data traffic.
 package sim
 
 import (

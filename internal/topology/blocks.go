@@ -31,6 +31,11 @@ func NewBlockPartition(t *Topology, numBlocks int) (*BlockPartition, error) {
 	if numBlocks <= 0 {
 		return nil, fmt.Errorf("topology: numBlocks must be positive, got %d", numBlocks)
 	}
+	if t.NumCores() > 0 {
+		// rackOfLink anchors links via Server/ToR endpoints, so the
+		// agg↔core layer of a fat-tree would be silently left unpriced.
+		return nil, fmt.Errorf("topology: LinkBlock partitioning is defined for two-tier fabrics; fat-tree has %d core switches", t.NumCores())
+	}
 	if t.NumRacks()%numBlocks != 0 {
 		return nil, fmt.Errorf("topology: %d blocks do not evenly divide %d racks", numBlocks, t.NumRacks())
 	}

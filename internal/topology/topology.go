@@ -1,9 +1,3 @@
-// Package topology models the two-tier Clos (leaf-spine) datacenter fabrics
-// used by Flowtune's evaluation: racks of servers connected to top-of-rack
-// (ToR) switches, which connect to a layer of spine switches. It provides
-// link/path bookkeeping for the rate allocator and the packet simulator, and
-// the LinkBlock partitioning used by the multicore allocator (§5 of the
-// paper).
 package topology
 
 import (
@@ -20,6 +14,8 @@ const (
 	ToR
 	// Spine is a second-tier (aggregation/spine) switch.
 	Spine
+	// Core is a third-tier core switch (fat-tree fabrics only).
+	Core
 	// Allocator is the centralized Flowtune allocator host.
 	Allocator
 )
@@ -33,6 +29,8 @@ func (k NodeKind) String() string {
 		return "tor"
 	case Spine:
 		return "spine"
+	case Core:
+		return "core"
 	case Allocator:
 		return "allocator"
 	default:
@@ -84,8 +82,14 @@ type Topology struct {
 	serverIDs []NodeID
 	// torIDs[r] is the NodeID of the ToR switch of rack r.
 	torIDs []NodeID
-	// spineIDs[s] is the NodeID of spine switch s.
+	// spineIDs[s] is the NodeID of spine switch s (aggregation switches in
+	// a fat-tree).
 	spineIDs []NodeID
+	// coreIDs[c] is the NodeID of core switch c (fat-tree fabrics only).
+	coreIDs []NodeID
+	// fatTree holds the pod structure of a three-tier fat-tree, nil for
+	// two-tier fabrics.
+	fatTree *fatTreeInfo
 	// allocatorID is the NodeID of the allocator host, or -1 if absent.
 	allocatorID NodeID
 
@@ -300,6 +304,9 @@ func (t *Topology) Route(src, dst int, spineChoice int) (Path, error) {
 	if src == dst {
 		return nil, fmt.Errorf("topology: source and destination are the same server %d", src)
 	}
+	if t.fatTree != nil {
+		return t.routeFatTree(src, dst, spineChoice), nil
+	}
 	srcNode := t.serverIDs[src]
 	dstNode := t.serverIDs[dst]
 	srcRack := t.RackOfServer(src)
@@ -319,11 +326,16 @@ func (t *Topology) Route(src, dst int, spineChoice int) (Path, error) {
 	return Path{up1, up2, down2, down1}, nil
 }
 
-// HopCount returns the number of switch-to-switch hops on the path between
-// two servers: 2 for intra-rack and 4 for cross-rack paths.
+// HopCount returns the number of links on the path between two servers:
+// 2 for intra-rack paths, 4 for cross-rack (two-tier) or intra-pod
+// (fat-tree) paths, and 6 for cross-pod fat-tree paths.
 func (t *Topology) HopCount(src, dst int) int {
-	if t.RackOfServer(src) == t.RackOfServer(dst) {
+	srcRack, dstRack := t.RackOfServer(src), t.RackOfServer(dst)
+	if srcRack == dstRack {
 		return 2
+	}
+	if ft := t.fatTree; ft != nil && ft.podOfRack(srcRack) != ft.podOfRack(dstRack) {
+		return 6
 	}
 	return 4
 }

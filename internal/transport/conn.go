@@ -267,6 +267,7 @@ func (c *conn) handleData(p *sim.Packet) *sim.Packet {
 	if _, dup := c.received[p.Seq]; !dup {
 		c.received[p.Seq] = p.PayloadBytes
 		c.receivedBytes += int64(p.PayloadBytes)
+		c.eng.deliveredBytes += int64(p.PayloadBytes)
 		if c.throughput != nil {
 			c.throughput.Add(now, p.PayloadBytes)
 		}
@@ -274,6 +275,9 @@ func (c *conn) handleData(p *sim.Packet) *sim.Packet {
 			rec := c.record()
 			if rec.End == 0 {
 				rec.End = now
+				if c.eng.onFlowComplete != nil {
+					c.eng.onFlowComplete(c.id, now)
+				}
 			}
 		}
 	}

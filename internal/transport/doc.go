@@ -1,0 +1,19 @@
+// Package transport implements the endpoint congestion-control schemes
+// compared in Flowtune's evaluation (§6.3–§6.5) on top of the packet
+// simulator: Flowtune's allocator-paced endpoints, DCTCP, pFabric,
+// Cubic-over-sfqCoDel, and XCP, plus a plain TCP(Reno-like) fallback. The
+// Engine type wires a workload of flowlets into a simulated fabric with the
+// chosen scheme and collects the metrics the figures report.
+//
+// The transports are simplified relative to full protocol implementations,
+// but each one reproduces the
+// mechanism the paper's comparison hinges on: DCTCP's ECN-fraction window
+// control, pFabric's shortest-remaining-first priority dropping, sfqCoDel's
+// per-flow CoDel dropping under Cubic, XCP's conservative explicit feedback,
+// and Flowtune's explicit rate allocation with near-empty queues.
+//
+// Under the Flowtune scheme the Engine also simulates the control plane:
+// flowlet start/end notifications and rate updates travel as real packets
+// over the allocator's uplinks (topology.PathToAllocator), so control-plane
+// latency and bandwidth are part of every result.
+package transport

@@ -73,6 +73,13 @@ type Engine struct {
 	conns   map[int64]*conn
 	records []metrics.FlowRecord
 
+	// onFlowComplete, if set, fires when a flow's last payload byte
+	// arrives at the receiver (used by closed-loop workloads).
+	onFlowComplete func(id int64, at float64)
+	// deliveredBytes counts distinct payload bytes that reached their
+	// receivers (retransmitted duplicates excluded).
+	deliveredBytes int64
+
 	// Flowtune-specific allocator endpoint.
 	alloc          *core.Allocator
 	allocRunning   bool
@@ -225,6 +232,11 @@ func (e *Engine) Run(horizon float64) {
 // Records returns the per-flow outcome records.
 func (e *Engine) Records() []metrics.FlowRecord { return e.records }
 
+// SetFlowCompleteHook registers a callback fired at the simulated time a
+// flow's last payload byte arrives at its receiver. Closed-loop workloads use
+// it to schedule the next arrival; the callback may add new flowlets.
+func (e *Engine) SetFlowCompleteHook(fn func(id int64, at float64)) { e.onFlowComplete = fn }
+
 // StopFlow aborts a flow's sender at the current simulation time: no further
 // data is sent and, under Flowtune, a flowlet-end notification is sent to the
 // allocator. It is used by the Figure 4 convergence experiment, where senders
@@ -254,6 +266,10 @@ func (e *Engine) FlowThroughput(id int64) *metrics.ThroughputSeries {
 
 // DroppedBytes returns total bytes dropped in the fabric.
 func (e *Engine) DroppedBytes() int64 { return e.net.TotalDroppedBytes() }
+
+// DeliveredBytes returns the distinct payload bytes delivered to receivers so
+// far. Sampling it before and after a measurement window yields goodput.
+func (e *Engine) DeliveredBytes() int64 { return e.deliveredBytes }
 
 // ControlBytes returns the bytes of allocator control traffic injected into
 // the fabric (Flowtune only).
@@ -324,8 +340,7 @@ func (e *Engine) senderFinished(c *conn) {
 // setupAllocator builds the in-fabric allocator endpoint and its control
 // paths.
 func (e *Engine) setupAllocator() error {
-	allocNode, ok := e.topo.AllocatorNode()
-	if !ok {
+	if _, ok := e.topo.AllocatorNode(); !ok {
 		return fmt.Errorf("transport: Flowtune requires a topology with an allocator host")
 	}
 	alloc, err := core.NewAllocator(core.Config{
@@ -340,18 +355,18 @@ func (e *Engine) setupAllocator() error {
 	e.alloc = alloc
 	e.ctrlToAlloc = make(map[int][]int32)
 	e.ctrlFromAlloc = make(map[int][]int32)
-	spines := e.topo.NumSpines()
 	for srv := 0; srv < e.topo.NumServers(); srv++ {
-		spine := e.topo.SpineSwitch(srv % spines)
-		tor := e.topo.ToRForRack(e.topo.RackOfServer(srv))
-		up1, _ := e.topo.LinkBetween(e.topo.Server(srv), tor)
-		up2, _ := e.topo.LinkBetween(tor, spine)
-		up3, _ := e.topo.LinkBetween(spine, allocNode)
-		e.ctrlToAlloc[srv] = []int32{int32(up1), int32(up2), int32(up3)}
-		down1, _ := e.topo.LinkBetween(allocNode, spine)
-		down2, _ := e.topo.LinkBetween(spine, tor)
-		down3, _ := e.topo.LinkBetween(tor, e.topo.Server(srv))
-		e.ctrlFromAlloc[srv] = []int32{int32(down1), int32(down2), int32(down3)}
+		// Spread servers statically across the allocator's uplinks.
+		up, err := e.topo.PathToAllocator(srv, srv)
+		if err != nil {
+			return err
+		}
+		down, err := e.topo.PathFromAllocator(srv, srv)
+		if err != nil {
+			return err
+		}
+		e.ctrlToAlloc[srv] = pathToInt32(up)
+		e.ctrlFromAlloc[srv] = pathToInt32(down)
 	}
 	e.net.RegisterAllocatorHost(e.allocatorReceive)
 	return nil

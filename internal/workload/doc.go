@@ -1,0 +1,21 @@
+// Package workload generates the trace-driven flowlet workloads of
+// Flowtune's evaluation and of the broader flow-scheduling literature. A
+// workload is the product of three independent choices, combined by Trace:
+//
+//   - A flow-size distribution: the paper's Facebook Web/Cache/Hadoop
+//     workloads (§6.2), the DCTCP web-search and VL2 data-mining CDFs, or a
+//     user-supplied CDF file parsed with ParseCDF/LoadCDFFile.
+//   - An arrival process: open-loop Poisson arrivals whose rate is set so
+//     offered bytes equal a target fraction of aggregate server capacity, or
+//     closed-loop arrivals that keep a fixed number of flowlets outstanding
+//     per server and react to completion feedback (Trace.Complete).
+//   - A traffic pattern: uniform random endpoints, a fixed permutation,
+//     synchronized many-to-one incast bursts, or an all-to-all shuffle.
+//
+// All randomness flows from one seeded deterministic RNG, so identical
+// configurations produce identical flowlet streams — the foundation of the
+// reproducible BENCH_*.json results emitted by cmd/flowtune-bench. ChurnEvents
+// converts a trace into an explicit add/remove event stream for
+// allocator-only churn runs. The legacy Generator type is the paper's
+// original uniform-Poisson generator and remains for the figure experiments.
+package workload

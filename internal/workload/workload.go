@@ -1,9 +1,3 @@
-// Package workload generates the flowlet workloads used in Flowtune's
-// evaluation (§6.2): flowlets arrive as a Poisson process, sizes are drawn
-// from empirical distributions modelled after the Facebook Web, Cache and
-// Hadoop workloads, and source/destination servers are chosen uniformly at
-// random. The Poisson rate is set so that the offered load equals a desired
-// fraction of aggregate server link capacity.
 package workload
 
 import (
@@ -27,6 +21,14 @@ const (
 	// Hadoop is the Hadoop workload: larger flows and the lowest arrival
 	// rate for a given load.
 	Hadoop
+	// WebSearch is the DCTCP web-search workload (Alizadeh et al., SIGCOMM
+	// 2010), the standard heavy-short-query distribution of the
+	// flow-scheduling literature.
+	WebSearch
+	// DataMining is the VL2 data-mining workload (Greenberg et al., SIGCOMM
+	// 2009): over half the flows are a single packet, but most bytes travel
+	// in flows of 100 MB and more.
+	DataMining
 )
 
 // String returns the lowercase workload name used in the paper's figures.
@@ -38,9 +40,24 @@ func (k Kind) String() string {
 		return "cache"
 	case Hadoop:
 		return "hadoop"
+	case WebSearch:
+		return "websearch"
+	case DataMining:
+		return "datamining"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// ParseKind maps a workload name ("web", "cache", "hadoop", "websearch",
+// "datamining") to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{Web, Cache, Hadoop, WebSearch, DataMining} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown workload kind %q", s)
 }
 
 // PacketSize is the MTU-sized packet used to convert between bytes and
@@ -183,6 +200,10 @@ func NewSizeDist(kind Kind) *EmpiricalDist {
 			{Bytes: 1e7, Prob: 0.95},
 			{Bytes: 1e8, Prob: 1.0},
 		}
+	case WebSearch:
+		pts = webSearchCDF
+	case DataMining:
+		pts = dataMiningCDF
 	default:
 		panic(fmt.Sprintf("workload: unknown kind %d", int(kind)))
 	}
