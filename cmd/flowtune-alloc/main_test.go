@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTinyRun exercises flag parsing and one small measured case end to end.
+func TestTinyRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-blocks", "1",
+		"-nodes", "48",
+		"-flows", "64",
+		"-iters", "3",
+		"-warmup", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	for _, want := range []string{"cores (FlowBlocks): 1", "nodes:              48", "time per iteration:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	// 3 blocks is not a power of two; the allocator must refuse it.
+	if err := run([]string{"-blocks", "3", "-nodes", "144", "-flows", "8", "-iters", "1", "-warmup", "0"}, &out); err == nil {
+		t.Error("non-power-of-two block count accepted")
+	}
+}

@@ -12,9 +12,16 @@
 // writes a machine-readable BENCH_<name>.json into -out; identical seeds
 // produce byte-identical JSON. The -short flag shrinks the fabric and run
 // windows for CI smoke runs. Use -list to enumerate the scenarios.
+//
+// -validate <dir> checks that a directory holds a well-formed BENCH_*.json
+// for every named scenario (present, schema-tagged, and structurally sane);
+// CI runs it against both the fresh artifacts and the baselines committed at
+// the repository root, so a scenario can neither silently disappear nor rot
+// its schema.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +47,8 @@ func main() {
 	short := flag.Bool("short", false, "shrink scenario fabrics and run windows (CI smoke mode)")
 	outDir := flag.String("out", ".", "directory for scenario BENCH_<name>.json files")
 	list := flag.Bool("list", false, "list the named scenarios and exit")
+	validate := flag.String("validate", "",
+		"validate BENCH_<name>.json files for every named scenario in this directory, then exit")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -47,6 +56,13 @@ func main() {
 		for _, name := range experiments.ScenarioNames() {
 			fmt.Printf("%-20s %s\n", name, experiments.ScenarioAbout(name))
 		}
+		return
+	}
+	if *validate != "" {
+		if err := validateDir(*validate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("validated %d scenario result files in %s\n", len(experiments.ScenarioNames()), *validate)
 		return
 	}
 	if *scenario != "" {
@@ -71,6 +87,53 @@ func main() {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}
+}
+
+// validateDir checks every named scenario has a well-formed result file in
+// dir: BENCH_<name>.json exists, carries the current schema tag, matches its
+// scenario name, and holds a structurally plausible run.
+func validateDir(dir string) error {
+	var problems []string
+	for _, name := range experiments.ScenarioNames() {
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		if err := validateScenarioFile(path, name); err != nil {
+			problems = append(problems, err.Error())
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("invalid benchmark results:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// validateScenarioFile checks one BENCH_*.json against the schema.
+func validateScenarioFile(path, name string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var res experiments.ScenarioResult
+	if err := dec.Decode(&res); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%s: trailing data after the result object", path)
+	}
+	switch {
+	case res.Schema != experiments.ScenarioResultSchema:
+		return fmt.Errorf("%s: schema %q, want %q", path, res.Schema, experiments.ScenarioResultSchema)
+	case res.Name != name:
+		return fmt.Errorf("%s: names scenario %q, want %q", path, res.Name, name)
+	case res.Servers <= 0 || res.Duration <= 0:
+		return fmt.Errorf("%s: implausible fabric (%d servers, %gs duration)", path, res.Servers, res.Duration)
+	case res.Flows <= 0 || res.FinishedFlows <= 0:
+		return fmt.Errorf("%s: no measured flows (%d flows, %d finished)", path, res.Flows, res.FinishedFlows)
+	case res.GoodputBps <= 0:
+		return fmt.Errorf("%s: no goodput recorded", path)
+	}
+	return nil
 }
 
 // runScenario executes one named scenario and writes its BENCH_<name>.json.

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// writeResult serializes a minimal valid ScenarioResult for name into dir.
+func writeResult(t *testing.T, dir, name string, mutate func(*experiments.ScenarioResult)) {
+	t.Helper()
+	res := experiments.ScenarioResult{
+		Schema:        experiments.ScenarioResultSchema,
+		Name:          name,
+		Servers:       16,
+		Duration:      1.5e-3,
+		Flows:         10,
+		FinishedFlows: 9,
+		GoodputBps:    1e9,
+	}
+	if mutate != nil {
+		mutate(&res)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDirAcceptsWellFormedResults(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range experiments.ScenarioNames() {
+		writeResult(t, dir, name, nil)
+	}
+	if err := validateDir(dir); err != nil {
+		t.Fatalf("validateDir rejected well-formed results: %v", err)
+	}
+}
+
+func TestValidateDirRejectsMissingScenario(t *testing.T) {
+	dir := t.TempDir()
+	names := experiments.ScenarioNames()
+	for _, name := range names[:len(names)-1] {
+		writeResult(t, dir, name, nil)
+	}
+	err := validateDir(dir)
+	if err == nil {
+		t.Fatal("validateDir accepted a directory missing a scenario result")
+	}
+	if !strings.Contains(err.Error(), names[len(names)-1]) {
+		t.Fatalf("error does not name the missing scenario: %v", err)
+	}
+}
+
+func TestValidateDirRejectsBadResults(t *testing.T) {
+	cases := []struct {
+		label  string
+		mutate func(*experiments.ScenarioResult)
+	}{
+		{"wrong schema", func(r *experiments.ScenarioResult) { r.Schema = "flowtune-bench/scenario/v0" }},
+		{"name mismatch", func(r *experiments.ScenarioResult) { r.Name = "somebody-else" }},
+		{"no flows", func(r *experiments.ScenarioResult) { r.Flows = 0 }},
+		{"no goodput", func(r *experiments.ScenarioResult) { r.GoodputBps = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			dir := t.TempDir()
+			for _, name := range experiments.ScenarioNames() {
+				writeResult(t, dir, name, nil)
+			}
+			writeResult(t, dir, experiments.ScenarioNames()[0], tc.mutate)
+			if err := validateDir(dir); err == nil {
+				t.Fatalf("validateDir accepted a result with %s", tc.label)
+			}
+		})
+	}
+}
+
+func TestValidateDirRejectsGarbageJSON(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range experiments.ScenarioNames() {
+		writeResult(t, dir, name, nil)
+	}
+	path := filepath.Join(dir, "BENCH_"+experiments.ScenarioNames()[0]+".json")
+	if err := os.WriteFile(path, []byte(`{"schema": 7`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateDir(dir); err == nil {
+		t.Fatal("validateDir accepted truncated JSON")
+	}
+}
+
+func TestValidateDirRejectsTrailingData(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range experiments.ScenarioNames() {
+		writeResult(t, dir, name, nil)
+	}
+	path := filepath.Join(dir, "BENCH_"+experiments.ScenarioNames()[0]+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte("\n{\"schema\":\"again\"}")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateDir(dir); err == nil {
+		t.Fatal("validateDir accepted trailing data after the result object")
+	}
+}

@@ -7,7 +7,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/metrics"
@@ -19,27 +21,50 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowtune-sim: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	schemeName := flag.String("scheme", "flowtune", "scheme: flowtune, dctcp, pfabric, sfqcodel, xcp, tcp")
-	kindName := flag.String("workload", "web", "workload: web, cache, hadoop")
-	load := flag.Float64("load", 0.6, "target server load in (0,1]")
-	duration := flag.Float64("duration", 10e-3, "measured simulation time in seconds")
-	warmup := flag.Float64("warmup", 2e-3, "warmup time in seconds")
-	seed := flag.Int64("seed", 1, "workload random seed")
-	flag.Parse()
+// run is the testable body of the command.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flowtune-sim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	schemeName := fs.String("scheme", "flowtune", "scheme: flowtune, dctcp, pfabric, sfqcodel, xcp, tcp")
+	kindName := fs.String("workload", "web", "workload: web, cache, hadoop, websearch, datamining")
+	load := fs.Float64("load", 0.6, "target server load in (0,1]")
+	duration := fs.Float64("duration", 10e-3, "measured simulation time in seconds")
+	warmup := fs.Float64("warmup", 2e-3, "warmup time in seconds")
+	racks := fs.Int("racks", 0, "racks (0 = the paper's 9-rack fabric)")
+	serversPerRack := fs.Int("servers-per-rack", 0, "servers per rack (0 = the paper's 16)")
+	spines := fs.Int("spines", 0, "spine switches (0 = the paper's 4)")
+	seed := fs.Int64("seed", 1, "workload random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scheme, err := parseScheme(*schemeName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	kind, err := parseKind(*kindName)
+	kind, err := workload.ParseKind(strings.ToLower(*kindName))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	topo, err := topology.NewTwoTier(topology.DefaultSimConfig())
+	topoCfg := topology.DefaultSimConfig()
+	if *racks > 0 {
+		topoCfg.Racks = *racks
+	}
+	if *serversPerRack > 0 {
+		topoCfg.ServersPerRack = *serversPerRack
+	}
+	if *spines > 0 {
+		topoCfg.Spines = *spines
+	}
+	topo, err := topology.NewTwoTier(topoCfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	horizon := *warmup + *duration
 	eng, err := transport.NewEngine(transport.EngineConfig{
@@ -49,7 +74,7 @@ func main() {
 		Horizon:           horizon,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	gen, err := workload.NewGenerator(workload.GeneratorConfig{
 		Kind:               kind,
@@ -59,15 +84,15 @@ func main() {
 		Seed:               *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	flows := gen.GenerateUntil(horizon * 0.9)
 	if err := eng.AddFlowlets(flows); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	eng.Run(horizon)
 
-	fmt.Printf("scheme=%s workload=%s load=%.2f servers=%d flowlets=%d\n",
+	fmt.Fprintf(out, "scheme=%s workload=%s load=%.2f servers=%d flowlets=%d\n",
 		scheme, kind, *load, topo.NumServers(), len(flows))
 
 	var measured []metrics.FlowRecord
@@ -76,18 +101,19 @@ func main() {
 			measured = append(measured, r)
 		}
 	}
-	fmt.Printf("completion rate: %.1f%%\n", 100*metrics.CompletionRate(measured))
-	fmt.Printf("dropped: %.3f Gbit/s\n", float64(eng.DroppedBytes()*8)/horizon/1e9)
-	fmt.Println("normalized FCT by flow size bucket:")
+	fmt.Fprintf(out, "completion rate: %.1f%%\n", 100*metrics.CompletionRate(measured))
+	fmt.Fprintf(out, "dropped: %.3f Gbit/s\n", float64(eng.DroppedBytes()*8)/horizon/1e9)
+	fmt.Fprintln(out, "normalized FCT by flow size bucket:")
 	for _, s := range metrics.SummarizeFCT(measured, workload.BucketLabel, workload.Buckets()) {
-		fmt.Printf("  %-18s n=%-7d mean=%-8.2f p50=%-8.2f p99=%-8.2f\n", s.Bucket, s.Count, s.Mean, s.P50, s.P99)
+		fmt.Fprintf(out, "  %-18s n=%-7d mean=%-8.2f p50=%-8.2f p99=%-8.2f\n", s.Bucket, s.Count, s.Mean, s.P50, s.P99)
 	}
 	if scheme == transport.Flowtune && eng.Allocator() != nil {
 		stats := eng.Allocator().Stats()
-		fmt.Printf("allocator: %d iterations, %d rate updates sent, %d suppressed\n",
+		fmt.Fprintf(out, "allocator: %d iterations, %d rate updates sent, %d suppressed\n",
 			stats.Iterations, stats.RateUpdatesSent, stats.RateUpdatesSuppressed)
-		fmt.Printf("control traffic injected: %.3f MB\n", float64(eng.ControlBytes())/1e6)
+		fmt.Fprintf(out, "control traffic injected: %.3f MB\n", float64(eng.ControlBytes())/1e6)
 	}
+	return nil
 }
 
 // parseScheme maps a CLI name to a Scheme.
@@ -107,19 +133,5 @@ func parseScheme(name string) (transport.Scheme, error) {
 		return transport.TCP, nil
 	default:
 		return 0, fmt.Errorf("unknown scheme %q", name)
-	}
-}
-
-// parseKind maps a CLI name to a workload kind.
-func parseKind(name string) (workload.Kind, error) {
-	switch strings.ToLower(name) {
-	case "web":
-		return workload.Web, nil
-	case "cache":
-		return workload.Cache, nil
-	case "hadoop":
-		return workload.Hadoop, nil
-	default:
-		return 0, fmt.Errorf("unknown workload %q", name)
 	}
 }

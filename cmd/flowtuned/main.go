@@ -1,0 +1,141 @@
+// Command flowtuned runs the Flowtune allocator as a networked daemon:
+// endpoints connect over TCP, report flowlet starts and ends, and receive
+// explicit rate updates each allocation interval, all over the compact
+// binary protocol of internal/wire.
+//
+// The daemon free-runs one allocator iteration every -interval (clients may
+// also drive iterations explicitly with Step frames, which deterministic
+// test harnesses use). -blocks switches the engine from the sequential NED
+// allocator to the FlowBlock/LinkBlock multicore allocator. Loop latency
+// percentiles and update counters are logged every -stats-every.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowtuned: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flowtuned", flag.ContinueOnError)
+	fs.SetOutput(out)
+	listen := fs.String("listen", "127.0.0.1:9070", "TCP address to listen on (port 0 picks a free port)")
+	racks := fs.Int("racks", 9, "racks in the scheduled two-tier fabric")
+	serversPerRack := fs.Int("servers-per-rack", 16, "servers per rack")
+	spines := fs.Int("spines", 4, "spine switches")
+	capacity := fs.Float64("capacity", 10e9, "link capacity in bits/s")
+	gamma := fs.Float64("gamma", 0, "NED step size (0 selects the engine default)")
+	threshold := fs.Float64("threshold", 0.01, "rate-update notification threshold")
+	interval := fs.Duration("interval", time.Millisecond, "allocation interval (0 = step-driven only)")
+	blocks := fs.Int("blocks", 0, "rack blocks for the multicore engine (0 = sequential)")
+	epoch := fs.Uint64("epoch", 1, "allocator epoch announced to clients")
+	statsEvery := fs.Duration("stats-every", 10*time.Second, "loop-stats logging period (0 disables)")
+	serveFor := fs.Duration("serve-for", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
+	verbose := fs.Bool("verbose", false, "log session lifecycle events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks:          *racks,
+		ServersPerRack: *serversPerRack,
+		Spines:         *spines,
+		LinkCapacity:   *capacity,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{
+		Topology:        topo,
+		Gamma:           *gamma,
+		UpdateThreshold: *threshold,
+		Interval:        *interval,
+		Blocks:          *blocks,
+		Epoch:           *epoch,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(out, "flowtuned: "+format+"\n", args...) }
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "flowtuned: listening on %s (%d servers, interval %v, engine %s, epoch %d)\n",
+		ln.Addr(), topo.NumServers(), *interval, engineName(*blocks), *epoch)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var statsC <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		statsC = t.C
+	}
+	var deadline <-chan time.Time
+	if *serveFor > 0 {
+		deadline = time.After(*serveFor)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	for {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(out, "flowtuned: received %v, shutting down\n", s)
+			return nil
+		case <-deadline:
+			fmt.Fprintf(out, "flowtuned: serve window elapsed, shutting down\n")
+			return nil
+		case err := <-serveErr:
+			if err == net.ErrClosed {
+				return nil
+			}
+			return err
+		case <-statsC:
+			logStats(out, srv)
+		}
+	}
+}
+
+// engineName labels the configured engine for the startup line.
+func engineName(blocks int) string {
+	if blocks > 0 {
+		return fmt.Sprintf("parallel(%d blocks)", blocks)
+	}
+	return "sequential"
+}
+
+// logStats prints one loop-stats line.
+func logStats(out io.Writer, srv *server.Server) {
+	ls := srv.LoopStats()
+	st := srv.Stats()
+	fmt.Fprintf(out, "flowtuned: %d flows, %d sessions; %d iterations (p50 %.1fµs p99 %.1fµs), %d updates sent, %d coalesced\n",
+		srv.NumFlows(), st.SessionsActive, ls.Iterations,
+		ls.LatencySec.P50*1e6, ls.LatencySec.P99*1e6, st.UpdatesSent, st.UpdatesCoalesced)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// syncBuffer is a goroutine-safe output sink for the daemon under test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestDaemonServesClients boots the daemon on a free port, drives it with a
+// real TCP client, and lets the serve window close it down.
+func TestDaemonServesClients(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-racks", "4", "-servers-per-rack", "4", "-spines", "2",
+			"-interval", "200us",
+			"-serve-for", "2s",
+			"-stats-every", "0",
+		}, &out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; output: %q", out.String())
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	cli, err := transport.DialAlloc(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.FlowletStart(1, 0, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	updates, _, err := cli.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 1 || updates[0].Flow != 1 || updates[0].Rate <= 0 {
+		t.Fatalf("updates = %+v; want one positive rate for flow 1", updates)
+	}
+	cli.Close()
+
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v; output: %q", err, out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("missing shutdown line in output: %q", out.String())
+	}
+}
+
+// TestDaemonFlagErrors covers flag and topology validation.
+func TestDaemonFlagErrors(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-racks", "0", "-serve-for", "1ms"}, &out); err == nil {
+		t.Error("invalid topology accepted")
+	}
+	if err := run([]string{"-blocks", "3", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("non-power-of-two block count accepted")
+	}
+}

@@ -1,0 +1,66 @@
+// Command daemon is the loopback demo for flowtuned: it dials a running
+// daemon, registers two flowlets that share one server's downlink, and
+// prints the explicit rates the allocator pushes back — with 1% headroom on
+// a 10 Gbit/s fabric they settle at 4.95 Gbit/s each.
+//
+// Run the daemon first:
+//
+//	go run ./cmd/flowtuned -listen 127.0.0.1:9070 -interval 1ms
+//
+// then:
+//
+//	go run ./examples/daemon -addr 127.0.0.1:9070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	flowtune "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daemon-demo: ")
+	addr := flag.String("addr", "127.0.0.1:9070", "flowtuned address")
+	flag.Parse()
+
+	cli, err := flowtune.DialDaemon(*addr, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	fmt.Printf("connected to flowtuned at %s (epoch %d, interval %v)\n",
+		*addr, cli.Epoch(), cli.Interval())
+
+	// Two flowlets from different sources into server 9: each should be
+	// allocated half of the receiver's downlink.
+	if err := cli.FlowletStart(1, 0, 9, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.FlowletStart(2, 3, 9, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	rates := make(map[flowtune.FlowID]float64)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(rates) < 2 && time.Now().Before(deadline) {
+		updates, seq, err := cli.Recv(10 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, u := range updates {
+			rates[u.Flow] = u.Rate
+			fmt.Printf("iteration %d: flow %d -> %.2f Gbit/s\n", seq, u.Flow, u.Rate/1e9)
+		}
+	}
+	if len(rates) < 2 {
+		log.Fatal("no rate updates received")
+	}
+	fmt.Println("done: both flowlets share the downlink")
+}

@@ -9,10 +9,13 @@
 // the result with F-NORM so no link is over-subscribed, and returns explicit
 // rates that endpoints use to pace their traffic.
 //
-// The package exposes four layers:
+// The package exposes five layers:
 //
 //   - The rate allocator: NewAllocator (single core) and NewParallelAllocator
 //     (the FlowBlock/LinkBlock multicore design of §5 of the paper).
+//   - The networked daemon: NewDaemon hosts either allocator as a
+//     long-running service (flowtuned) that endpoints drive over a compact
+//     binary wire protocol with DialDaemon/NewDaemonClient.
 //   - The optimization machinery: NED and the baseline algorithms (Gradient,
 //     FGM, Newton-like) plus the U-NORM/F-NORM normalizers, for use outside
 //     the allocator.
@@ -39,13 +42,17 @@
 package flowtune
 
 import (
+	"net"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/norm"
 	"repro/internal/num"
+	"repro/internal/server"
 	"repro/internal/topology"
 	"repro/internal/transport"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -117,6 +124,51 @@ type ParallelFlow = core.ParallelFlow
 func NewParallelAllocator(cfg ParallelAllocatorConfig) (*ParallelAllocator, error) {
 	return core.NewParallelAllocator(cfg)
 }
+
+// ---------------------------------------------------------------------------
+// Daemon
+
+// WireVersion is the version of the flowtuned wire protocol.
+const WireVersion = wire.Version
+
+// Daemon is the networked allocator daemon (flowtuned): a long-running
+// process endpoints talk to over the wire protocol. Flowlet notifications
+// are folded in at iteration boundaries and rate updates are fanned back out
+// to the registering sessions with per-client coalescing backpressure.
+type Daemon = server.Server
+
+// DaemonConfig configures a Daemon.
+type DaemonConfig = server.Config
+
+// DaemonStats is a snapshot of daemon counters.
+type DaemonStats = server.Stats
+
+// NewDaemon creates an allocator daemon. Serve it with Daemon.Serve (TCP) or
+// Daemon.ServeConn (any net.Conn, e.g. a net.Pipe end).
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return server.New(cfg) }
+
+// DaemonClient is the endpoint side of the flowtuned wire protocol. It also
+// implements AllocatorBackend, so a Simulation can terminate its control
+// plane in an external daemon.
+type DaemonClient = transport.AllocClient
+
+// DialDaemon connects to a flowtuned daemon over TCP.
+func DialDaemon(addr string, clientID uint64) (*DaemonClient, error) {
+	return transport.DialAlloc(addr, clientID)
+}
+
+// NewDaemonClient wraps an established connection to a flowtuned daemon.
+func NewDaemonClient(conn net.Conn, clientID uint64) (*DaemonClient, error) {
+	return transport.NewAllocClient(conn, clientID)
+}
+
+// AllocatorBackend is where a Flowtune simulation's control plane
+// terminates: the in-process allocator by default, or a DaemonClient.
+type AllocatorBackend = transport.AllocatorBackend
+
+// LoopStats summarizes allocator control-loop latency and throughput (see
+// Daemon.LoopStats).
+type LoopStats = metrics.LoopStats
 
 // ---------------------------------------------------------------------------
 // Optimization machinery

@@ -3,6 +3,7 @@ package flowtune_test
 import (
 	"fmt"
 	"math"
+	"net"
 	"testing"
 
 	flowtune "repro"
@@ -173,3 +174,58 @@ func Example_quickstart() {
 	// flow 1: 4.95 Gbit/s
 	// flow 2: 4.95 Gbit/s
 }
+
+func TestPublicDaemon(t *testing.T) {
+	topo := defaultTopo(t)
+	daemon, err := flowtune.NewDaemon(flowtune.DaemonConfig{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Close()
+	clientEnd, serverEnd := net.Pipe()
+	go daemon.ServeConn(serverEnd)
+	cli, err := flowtune.NewDaemonClient(clientEnd, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.FlowletStart(1, 0, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletStart(2, 3, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	var last map[flowtune.FlowID]float64
+	for i := 0; i < 100; i++ {
+		updates, err := cli.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last == nil {
+			last = make(map[flowtune.FlowID]float64)
+		}
+		for _, u := range updates {
+			last[u.Flow] = u.Rate
+		}
+	}
+	// Two flows sharing server 17's downlink settle at half line rate each
+	// (minus the 1% update-threshold headroom), exactly as in process.
+	want := topo.Config().LinkCapacity * 0.99 / 2
+	for _, id := range []flowtune.FlowID{1, 2} {
+		if got := last[id]; math.Abs(got-want)/want > 0.02 {
+			t.Errorf("flow %d rate %.3g, want %.3g", id, got, want)
+		}
+	}
+	var stats flowtune.LoopStats = daemon.LoopStats()
+	if stats.Iterations != 100 {
+		t.Errorf("daemon ran %d iterations, want 100", stats.Iterations)
+	}
+	var ds flowtune.DaemonStats = daemon.Stats()
+	if ds.SessionsAccepted != 1 || ds.EventsReceived != 2 {
+		t.Errorf("daemon stats = %+v", ds)
+	}
+}
+
+// The DaemonClient must satisfy the simulation engine's backend seam.
+var _ flowtune.AllocatorBackend = (*flowtune.DaemonClient)(nil)

@@ -277,7 +277,7 @@ func (a *Allocator) Iterate() []RateUpdate {
 	for i := range a.flows {
 		rate := a.normalized[i]
 		f := &a.flows[i]
-		if significantChange(f.lastNotified, rate, thr) {
+		if SignificantRateChange(f.lastNotified, rate, thr) {
 			f.lastNotified = rate
 			updates = append(updates, RateUpdate{Flow: f.id, Src: f.src, Rate: rate})
 			a.stats.RateUpdatesSent++
@@ -290,9 +290,11 @@ func (a *Allocator) Iterate() []RateUpdate {
 	return updates
 }
 
-// significantChange reports whether a rate change from old to new exceeds the
-// relative notification threshold.
-func significantChange(old, new, threshold float64) bool {
+// SignificantRateChange reports whether a rate change from old to new
+// exceeds the relative notification threshold. It is the single definition
+// of the update-suppression rule (§6.4), shared by this allocator and the
+// daemon's engines so they can never drift apart.
+func SignificantRateChange(old, new, threshold float64) bool {
 	if old == 0 {
 		return new != 0
 	}

@@ -422,8 +422,8 @@ func TestSignificantChange(t *testing.T) {
 		{100, 99.5, 0.01, false},
 	}
 	for _, tc := range cases {
-		if got := significantChange(tc.old, tc.new, tc.threshold); got != tc.want {
-			t.Errorf("significantChange(%g,%g,%g) = %v, want %v", tc.old, tc.new, tc.threshold, got, tc.want)
+		if got := SignificantRateChange(tc.old, tc.new, tc.threshold); got != tc.want {
+			t.Errorf("SignificantRateChange(%g,%g,%g) = %v, want %v", tc.old, tc.new, tc.threshold, got, tc.want)
 		}
 	}
 }

@@ -423,12 +423,19 @@ func (p *ParallelAllocator) normalizePhase(fb *flowBlock) {
 // flow ID.
 func (p *ParallelAllocator) Rates() map[FlowID]float64 {
 	out := make(map[FlowID]float64, p.numFlows)
+	p.ForEachRate(func(id FlowID, rate float64) { out[id] = rate })
+	return out
+}
+
+// ForEachRate calls fn with the most recently computed rate of every loaded
+// flow, in FlowBlock order, without allocating. It may only be called while
+// no Iterate is in flight.
+func (p *ParallelAllocator) ForEachRate(fn func(FlowID, float64)) {
 	for _, fb := range p.fbs {
 		for i, id := range fb.ids {
-			out[id] = fb.rates[i]
+			fn(id, fb.rates[i])
 		}
 	}
-	return out
 }
 
 // Prices returns the authoritative link prices keyed by LinkID.

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestDaemonScenarioMatchesInProcess is the acceptance check for the
+// networked allocator: the daemon-incast scenario (trace → wire protocol →
+// flowtuned over a pipe → rate updates → simulator) must produce exactly the
+// results of the in-process incast scenario for the same seed. Everything
+// but the scenario name is required to be identical, down to the last float.
+func TestDaemonScenarioMatchesInProcess(t *testing.T) {
+	inproc, err := NamedScenario("incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := NamedScenario("daemon-incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !daemon.Daemon || inproc.Daemon {
+		t.Fatalf("scenario wiring: incast.Daemon=%v daemon-incast.Daemon=%v", inproc.Daemon, daemon.Daemon)
+	}
+
+	want, err := RunScenario(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunScenario(daemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flows == 0 || got.FinishedFlows == 0 {
+		t.Fatalf("daemon scenario measured no flows: %+v", got)
+	}
+
+	// Neutralize the only intentional difference and compare the full
+	// serialized results bit for bit.
+	got.Name = want.Name
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("daemon-backed scenario diverged from in-process run:\nin-process: %s\ndaemon:     %s", wantJSON, gotJSON)
+	}
+}
+
+// TestDaemonScenarioDeterministic re-runs the daemon-backed scenario and
+// requires byte-identical JSON, the property CI baselines depend on.
+func TestDaemonScenarioDeterministic(t *testing.T) {
+	cfg, err := NamedScenario("daemon-incast", true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("two identical daemon runs diverged:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestDaemonRequiresFlowtune rejects daemon mode for schemes with no
+// allocator.
+func TestDaemonRequiresFlowtune(t *testing.T) {
+	cfg, err := NamedScenario("daemon-incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme = 1 // any non-Flowtune scheme
+	if _, err := RunScenario(cfg); err == nil {
+		t.Fatal("RunScenario accepted Daemon mode with a non-Flowtune scheme")
+	}
+}

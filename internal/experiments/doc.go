@@ -10,5 +10,8 @@
 // from internal/workload, drives the allocator and packet simulator under
 // churn, and condenses FCT/throughput statistics into a deterministic,
 // JSON-serializable ScenarioResult. NamedScenario exposes the curated
-// scenario registry used by `flowtune-bench -scenario`.
+// scenario registry used by `flowtune-bench -scenario`. Scenarios with
+// Daemon set (e.g. daemon-incast) host the allocator in a step-driven
+// flowtuned daemon behind the wire protocol and are bit-identical to their
+// in-process counterparts for the same seed.
 package experiments

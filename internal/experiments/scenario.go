@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"net"
 	"sort"
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/server"
 	"repro/internal/topology"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -66,6 +68,13 @@ type ScenarioConfig struct {
 	// Seed seeds the workload trace. Identical configurations and seeds
 	// produce byte-identical results.
 	Seed int64
+	// Daemon runs the allocator as a flowtuned daemon behind the wire
+	// protocol (over an in-memory pipe) instead of in process, exercising
+	// the full trace → wire → daemon → rate-update → simulator stack.
+	// Only meaningful with the Flowtune scheme. The run stays
+	// deterministic: the simulator drives the daemon in step mode, and a
+	// daemon-backed scenario produces the same rates as an in-process one.
+	Daemon bool
 }
 
 // withDefaults fills unset scenario fields.
@@ -172,11 +181,35 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 	}
 	horizon := cfg.Warmup + cfg.Duration
-	eng, err := transport.NewEngine(transport.EngineConfig{
+	engCfg := transport.EngineConfig{
 		Scheme:   cfg.Scheme,
 		Topology: topo,
 		Horizon:  horizon,
-	})
+	}
+	if cfg.Daemon {
+		if cfg.Scheme != transport.Flowtune {
+			return nil, fmt.Errorf("experiments: scenario %s: Daemon requires the Flowtune scheme, got %s", cfg.Name, cfg.Scheme)
+		}
+		// Host the allocator in a step-driven flowtuned daemon reached
+		// over an in-memory pipe: flowlet notifications and rate updates
+		// cross the wire protocol, and each simulated allocator tick
+		// becomes one synchronous daemon Step.
+		srv, err := server.New(server.Config{Topology: topo})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+		}
+		defer srv.Close()
+		clientEnd, serverEnd := net.Pipe()
+		go srv.ServeConn(serverEnd)
+		cli, err := transport.NewAllocClient(clientEnd, uint64(cfg.Seed))
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+		}
+		defer cli.Close()
+		engCfg.ExternalAllocator = cli
+	}
+	eng, err := transport.NewEngine(engCfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 	}
@@ -228,6 +261,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	eng.Run(horizon)
 	if pumpErr != nil {
 		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, pumpErr)
+	}
+	if err := eng.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: control plane: %w", cfg.Name, err)
 	}
 
 	res := &ScenarioResult{
@@ -331,6 +367,22 @@ func shrink(cfg ScenarioConfig, short bool) ScenarioConfig {
 	return cfg
 }
 
+// incastScenario builds the incast configuration; the daemon-incast entry
+// derives from it so the pair can never drift apart.
+func incastScenario(short bool) ScenarioConfig {
+	cfg := shrink(ScenarioConfig{
+		Name:        "incast",
+		Workload:    workload.Cache,
+		Pattern:     workload.PatternIncast,
+		Load:        0.6,
+		IncastFanIn: 32,
+	}, short)
+	if short {
+		cfg.IncastFanIn = 8
+	}
+	return cfg
+}
+
 // namedScenarios is the scenario registry of cmd/flowtune-bench.
 var namedScenarios = map[string]scenarioSpec{
 	"websearch-poisson": {
@@ -368,19 +420,7 @@ var namedScenarios = map[string]scenarioSpec{
 	},
 	"incast": {
 		about: "Facebook Cache sizes in synchronized many-to-one bursts",
-		build: func(short bool) ScenarioConfig {
-			cfg := shrink(ScenarioConfig{
-				Name:        "incast",
-				Workload:    workload.Cache,
-				Pattern:     workload.PatternIncast,
-				Load:        0.6,
-				IncastFanIn: 32,
-			}, short)
-			if short {
-				cfg.IncastFanIn = 8
-			}
-			return cfg
-		},
+		build: incastScenario,
 	},
 	"shuffle": {
 		about: "Facebook Hadoop sizes in an all-to-all shuffle",
@@ -391,6 +431,15 @@ var namedScenarios = map[string]scenarioSpec{
 				Pattern:  workload.PatternShuffle,
 				Load:     0.6,
 			}, short)
+		},
+	},
+	"daemon-incast": {
+		about: "the incast scenario with the allocator behind the flowtuned wire protocol",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "daemon-incast"
+			cfg.Daemon = true
+			return cfg
 		},
 	},
 	"closedloop-cache": {

@@ -1,0 +1,80 @@
+package metrics
+
+import "sync"
+
+// LoopStats is a snapshot of allocator control-loop performance: how long
+// iterations take (percentiles over a sliding window of recent iterations)
+// and how much work they push out.
+type LoopStats struct {
+	// Iterations and Updates count over the recorder's whole lifetime.
+	Iterations int64 `json:"iterations"`
+	Updates    int64 `json:"updates"`
+	// LatencySec summarizes per-iteration wall-clock latency in seconds
+	// over the recent window.
+	LatencySec DistStats `json:"latency_sec"`
+	// UpdatesPerIteration is the lifetime mean fan-out per iteration.
+	UpdatesPerIteration float64 `json:"updates_per_iteration"`
+	// IterationsPerSec is the loop's busy throughput: iterations divided
+	// by total time spent iterating (not wall-clock time, which includes
+	// idle waits between ticks).
+	IterationsPerSec float64 `json:"iterations_per_sec"`
+}
+
+// LoopRecorder accumulates allocator-loop latency and throughput. It keeps a
+// bounded ring of recent iteration latencies for percentiles, so memory use
+// is constant regardless of daemon uptime. It is safe for concurrent use.
+type LoopRecorder struct {
+	mu         sync.Mutex
+	window     []float64 // ring buffer of latencies in seconds
+	next       int       // ring write cursor
+	iterations int64
+	updates    int64
+	busy       float64 // total seconds spent iterating
+}
+
+// DefaultLoopWindow is the default percentile window size.
+const DefaultLoopWindow = 1024
+
+// NewLoopRecorder creates a recorder keeping the last window iteration
+// latencies (DefaultLoopWindow when window <= 0).
+func NewLoopRecorder(window int) *LoopRecorder {
+	if window <= 0 {
+		window = DefaultLoopWindow
+	}
+	return &LoopRecorder{window: make([]float64, 0, window)}
+}
+
+// Record logs one loop iteration that took latencySec seconds and emitted
+// updates rate updates.
+func (r *LoopRecorder) Record(latencySec float64, updates int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.iterations++
+	r.updates += int64(updates)
+	r.busy += latencySec
+	if len(r.window) < cap(r.window) {
+		r.window = append(r.window, latencySec)
+		return
+	}
+	r.window[r.next] = latencySec
+	r.next = (r.next + 1) % len(r.window)
+}
+
+// Snapshot returns the current statistics. Percentiles cover only the recent
+// window; counters cover the recorder's lifetime.
+func (r *LoopRecorder) Snapshot() LoopStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := LoopStats{
+		Iterations: r.iterations,
+		Updates:    r.updates,
+		LatencySec: Summarize(r.window),
+	}
+	if r.iterations > 0 {
+		s.UpdatesPerIteration = float64(r.updates) / float64(r.iterations)
+	}
+	if r.busy > 0 {
+		s.IterationsPerSec = float64(r.iterations) / r.busy
+	}
+	return s
+}

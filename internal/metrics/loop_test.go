@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLoopRecorderCounters(t *testing.T) {
+	r := NewLoopRecorder(4)
+	r.Record(1e-6, 3)
+	r.Record(3e-6, 1)
+	s := r.Snapshot()
+	if s.Iterations != 2 || s.Updates != 4 {
+		t.Fatalf("counters = %d iters, %d updates; want 2, 4", s.Iterations, s.Updates)
+	}
+	if s.UpdatesPerIteration != 2 {
+		t.Fatalf("UpdatesPerIteration = %g; want 2", s.UpdatesPerIteration)
+	}
+	if s.LatencySec.Count != 2 || s.LatencySec.Max != 3e-6 {
+		t.Fatalf("latency = %+v", s.LatencySec)
+	}
+	// 2 iterations over 4 µs of busy time = 500k iterations/s.
+	if got, want := s.IterationsPerSec, 500_000.0; got < want*0.99 || got > want*1.01 {
+		t.Fatalf("IterationsPerSec = %g; want ≈%g", got, want)
+	}
+}
+
+func TestLoopRecorderWindowBounded(t *testing.T) {
+	r := NewLoopRecorder(8)
+	for i := 0; i < 100; i++ {
+		r.Record(float64(i), 0)
+	}
+	s := r.Snapshot()
+	if s.Iterations != 100 {
+		t.Fatalf("Iterations = %d", s.Iterations)
+	}
+	if s.LatencySec.Count != 8 {
+		t.Fatalf("window count = %d; want 8", s.LatencySec.Count)
+	}
+	// The window holds the most recent 8 samples (92..99).
+	if s.LatencySec.Max != 99 || s.LatencySec.P50 < 92 {
+		t.Fatalf("window stats = %+v; want samples 92..99", s.LatencySec)
+	}
+}
+
+func TestLoopRecorderConcurrent(t *testing.T) {
+	r := NewLoopRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				r.Record(1e-6, 1)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := r.Snapshot(); s.Iterations != 1000 || s.Updates != 1000 {
+		t.Fatalf("stats = %+v; want 1000 iterations and updates", s)
+	}
+}

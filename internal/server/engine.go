@@ -1,0 +1,163 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// engine abstracts the daemon's optimizer: the sequential NED allocator or
+// the FlowBlock/LinkBlock parallel allocator, both behind churn-at-iteration
+// semantics.
+type engine interface {
+	FlowletStart(id core.FlowID, src, dst int, weight float64) error
+	FlowletEnd(id core.FlowID) error
+	// Iterate runs one allocation and returns the rate updates whose
+	// change exceeded the notification threshold. The returned slice is
+	// only valid until the next call.
+	Iterate() []core.RateUpdate
+	NumFlows() int
+	Rates() map[core.FlowID]float64
+	Close()
+}
+
+// coreEngine adapts the sequential core.Allocator.
+type coreEngine struct {
+	alloc *core.Allocator
+}
+
+func newCoreEngine(cfg Config) (*coreEngine, error) {
+	alloc, err := core.NewAllocator(core.Config{
+		Topology:        cfg.Topology,
+		Gamma:           cfg.Gamma,
+		UpdateThreshold: cfg.UpdateThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &coreEngine{alloc: alloc}, nil
+}
+
+func (e *coreEngine) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	return e.alloc.FlowletStart(id, src, dst, weight)
+}
+func (e *coreEngine) FlowletEnd(id core.FlowID) error { return e.alloc.FlowletEnd(id) }
+func (e *coreEngine) Iterate() []core.RateUpdate      { return e.alloc.Iterate() }
+func (e *coreEngine) NumFlows() int                   { return e.alloc.NumFlows() }
+func (e *coreEngine) Rates() map[core.FlowID]float64  { return e.alloc.Rates() }
+func (e *coreEngine) Close()                          {}
+
+// parallelEngine adapts the multicore core.ParallelAllocator. The parallel
+// allocator takes whole flow sets, so the engine keeps the live flow list,
+// reloads it on churn (SetFlows is CSR-compiled, so this is a linear pass),
+// and layers the sequential allocator's threshold-based update suppression
+// on top, tracking the rate last notified per flow.
+type parallelEngine struct {
+	pa        *core.ParallelAllocator
+	topo      *topology.Topology
+	threshold float64
+
+	flows        []core.ParallelFlow
+	lastNotified []float64
+	index        map[core.FlowID]int
+	dirty        bool
+
+	updates []core.RateUpdate // reused across Iterate calls
+}
+
+func newParallelEngine(cfg Config) (*parallelEngine, error) {
+	pa, err := core.NewParallelAllocator(core.ParallelConfig{
+		Topology:  cfg.Topology,
+		Blocks:    cfg.Blocks,
+		Gamma:     cfg.Gamma,
+		Headroom:  cfg.UpdateThreshold,
+		Normalize: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &parallelEngine{
+		pa:        pa,
+		topo:      cfg.Topology,
+		threshold: cfg.UpdateThreshold,
+		index:     make(map[core.FlowID]int),
+	}, nil
+}
+
+func (e *parallelEngine) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	// Validate the route now so a bad add is rejected (and counted)
+	// immediately, mirroring the sequential engine; SetFlows would only
+	// surface it at the next iteration.
+	if _, err := e.topo.Route(src, dst, int(id)); err != nil {
+		return err
+	}
+	e.index[id] = len(e.flows)
+	e.flows = append(e.flows, core.ParallelFlow{ID: id, Src: src, Dst: dst, Weight: weight})
+	e.lastNotified = append(e.lastNotified, 0)
+	e.dirty = true
+	return nil
+}
+
+func (e *parallelEngine) FlowletEnd(id core.FlowID) error {
+	idx, ok := e.index[id]
+	if !ok {
+		return nil
+	}
+	last := len(e.flows) - 1
+	if idx != last {
+		e.flows[idx] = e.flows[last]
+		e.lastNotified[idx] = e.lastNotified[last]
+		e.index[e.flows[idx].ID] = idx
+	}
+	e.flows = e.flows[:last]
+	e.lastNotified = e.lastNotified[:last]
+	delete(e.index, id)
+	e.dirty = true
+	return nil
+}
+
+func (e *parallelEngine) Iterate() []core.RateUpdate {
+	if len(e.flows) == 0 {
+		return nil
+	}
+	if e.dirty {
+		if err := e.pa.SetFlows(e.flows); err != nil {
+			// A flow with no route slipped past validation; drop the
+			// whole reload rather than allocate from stale state.
+			return nil
+		}
+		e.dirty = false
+	}
+	e.pa.Iterate()
+	// Threshold directly in the rate walk — one e.index lookup per flow,
+	// no per-iteration rate map. Update order is FlowBlock order, which is
+	// deterministic for a given churn sequence.
+	updates := e.updates[:0]
+	e.pa.ForEachRate(func(id core.FlowID, rate float64) {
+		i, ok := e.index[id]
+		if !ok {
+			return
+		}
+		if core.SignificantRateChange(e.lastNotified[i], rate, e.threshold) {
+			e.lastNotified[i] = rate
+			updates = append(updates, core.RateUpdate{Flow: id, Src: e.flows[i].Src, Rate: rate})
+		}
+	})
+	e.updates = updates
+	return updates
+}
+
+func (e *parallelEngine) NumFlows() int { return len(e.flows) }
+
+// Rates reports rates for the *live* flow set only: after churn, the
+// underlying allocator may still hold retired flows until the next reload,
+// and before the first post-churn Iterate a new flow has no rate yet.
+func (e *parallelEngine) Rates() map[core.FlowID]float64 {
+	paRates := e.pa.Rates()
+	out := make(map[core.FlowID]float64, len(e.flows))
+	for i := range e.flows {
+		out[e.flows[i].ID] = paRates[e.flows[i].ID]
+	}
+	return out
+}
+
+func (e *parallelEngine) Close() { e.pa.Close() }

@@ -1,0 +1,701 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Config configures a flowtuned daemon.
+type Config struct {
+	// Topology is the fabric the allocator schedules. Required.
+	Topology *topology.Topology
+	// Gamma is NED's step size (default 0.4, matching the in-process
+	// allocator; the parallel engine defaults to 1 when Blocks > 0).
+	Gamma float64
+	// UpdateThreshold is the relative rate-change notification threshold
+	// (default 0.01). The same fraction of link capacity is withheld as
+	// headroom, mirroring core.Config.
+	UpdateThreshold float64
+	// Interval is the free-running iteration period. Zero disables the
+	// internal ticker: iterations then run only when a client sends a
+	// Step frame, which is what deterministic end-to-end runs use.
+	Interval time.Duration
+	// Blocks selects the multicore engine: when positive, the daemon runs
+	// the FlowBlock/LinkBlock parallel allocator with Blocks rack blocks
+	// (must be a power of two dividing the rack count). Zero selects the
+	// sequential allocator.
+	Blocks int
+	// Epoch identifies this allocator generation in the Hello/Welcome
+	// handshake (default 1). Restarting operators should bump it so
+	// endpoints re-register their flowlets.
+	Epoch uint64
+	// LatencyWindow is the loop-latency percentile window
+	// (default metrics.DefaultLoopWindow).
+	LatencyWindow int
+	// Logf, when set, receives daemon log lines.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of daemon counters.
+type Stats struct {
+	// SessionsAccepted counts handshakes completed; SessionsActive is the
+	// current session count.
+	SessionsAccepted int64
+	SessionsActive   int64
+	// EventsReceived counts FlowletAdd/FlowletEnd frames accepted into
+	// the inbox.
+	EventsReceived int64
+	// DuplicateAdds and UnknownEnds count events dropped at the
+	// iteration boundary because the flow was already (or not)
+	// registered; RejectedAdds count adds the engine refused (bad route).
+	DuplicateAdds int64
+	UnknownEnds   int64
+	RejectedAdds  int64
+	// UpdatesSent counts rate-update entries written to clients;
+	// UpdatesCoalesced counts updates overwritten by a newer rate before
+	// a slow client drained them (the backpressure policy); BatchesSent
+	// counts RateBatch frames.
+	UpdatesSent      int64
+	UpdatesCoalesced int64
+	BatchesSent      int64
+}
+
+// event is one flowlet notification waiting for the next iteration boundary.
+type event struct {
+	end      bool
+	flow     core.FlowID
+	src, dst int
+	weight   float64
+	sess     *session // nil for internally generated cleanup events
+}
+
+// Server is the flowtuned allocator daemon: it owns the optimizer, drains
+// client flowlet notifications at iteration boundaries (the paper's "updates
+// are folded in between iterations" design), and fans rate updates back out
+// to the sessions that registered the flows.
+type Server struct {
+	cfg  Config
+	eng  engine
+	loop *metrics.LoopRecorder
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	// conns tracks every connection handed to ServeConn, including ones
+	// still mid-handshake, so Close can unblock their readers.
+	conns  map[net.Conn]struct{}
+	owners map[core.FlowID]*session
+	inbox  []event
+	seq    uint64 // iteration counter
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+
+	stSessions  atomic.Int64
+	stActive    atomic.Int64
+	stEvents    atomic.Int64
+	stDupAdds   atomic.Int64
+	stUnknown   atomic.Int64
+	stRejected  atomic.Int64
+	stUpdates   atomic.Int64
+	stCoalesced atomic.Int64
+	stBatches   atomic.Int64
+}
+
+// New creates a daemon. The caller owns serving: pass a listener to Serve,
+// or individual connections (e.g. net.Pipe ends) to ServeConn.
+func New(cfg Config) (*Server, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("server: Config.Topology is required")
+	}
+	if cfg.UpdateThreshold == 0 {
+		cfg.UpdateThreshold = 0.01
+	}
+	if cfg.UpdateThreshold < 0 || cfg.UpdateThreshold >= 1 {
+		return nil, fmt.Errorf("server: UpdateThreshold must be in [0,1), got %g", cfg.UpdateThreshold)
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	var eng engine
+	var err error
+	if cfg.Blocks > 0 {
+		eng, err = newParallelEngine(cfg)
+	} else {
+		eng, err = newCoreEngine(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		eng:      eng,
+		loop:     metrics.NewLoopRecorder(cfg.LatencyWindow),
+		sessions: make(map[*session]struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		owners:   make(map[core.FlowID]*session),
+		done:     make(chan struct{}),
+	}
+	if cfg.Interval > 0 {
+		s.wg.Add(1)
+		go s.tickLoop()
+	}
+	return s, nil
+}
+
+// logf logs through the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Epoch returns the daemon's allocator epoch.
+func (s *Server) Epoch() uint64 { return s.cfg.Epoch }
+
+// NumFlows returns the number of currently registered flowlets.
+func (s *Server) NumFlows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.NumFlows()
+}
+
+// Iterations returns the number of allocator iterations run so far.
+func (s *Server) Iterations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// LoopStats returns allocator-loop latency and throughput statistics.
+func (s *Server) LoopStats() metrics.LoopStats { return s.loop.Snapshot() }
+
+// Stats returns a snapshot of daemon counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		SessionsAccepted: s.stSessions.Load(),
+		SessionsActive:   s.stActive.Load(),
+		EventsReceived:   s.stEvents.Load(),
+		DuplicateAdds:    s.stDupAdds.Load(),
+		UnknownEnds:      s.stUnknown.Load(),
+		RejectedAdds:     s.stRejected.Load(),
+		UpdatesSent:      s.stUpdates.Load(),
+		UpdatesCoalesced: s.stCoalesced.Load(),
+		BatchesSent:      s.stBatches.Load(),
+	}
+}
+
+// Rates returns the engine's current rates keyed by flow ID (a diagnostic
+// mirror of core.Allocator.Rates).
+func (s *Server) Rates() map[core.FlowID]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Rates()
+}
+
+// tickLoop drives free-running iterations every cfg.Interval.
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.iterate(nil, 0)
+		}
+	}
+}
+
+// Serve accepts sessions from ln until the daemon is closed. It always
+// returns a non-nil error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.isClosed() {
+		s.lnMu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.listeners = append(s.listeners, ln)
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return net.ErrClosed
+			}
+			return err
+		}
+		// The closed check and wg.Add share the mutex Close uses to set
+		// closed, so an Add can never start while Close is in wg.Wait.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// isClosed reports whether Close has been called.
+func (s *Server) isClosed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts the daemon down: listeners stop accepting, sessions are torn
+// down, the ticker stops, and the engine is released. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	// Closing every served conn (sessions and mid-handshake readers alike)
+	// unblocks their goroutines so wg.Wait below cannot hang on a silent
+	// peer that never completed its Hello.
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+
+	s.lnMu.Lock()
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	s.listeners = nil
+	s.lnMu.Unlock()
+
+	for _, conn := range conns {
+		conn.Close()
+	}
+	s.wg.Wait()
+
+	s.mu.Lock()
+	s.eng.Close()
+	s.mu.Unlock()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+
+// session is one connected endpoint client.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	id   uint64 // client label from Hello
+
+	// Write side: wmu serializes frame writes; wbuf is the reused
+	// synchronous-path encode buffer.
+	wmu  sync.Mutex
+	wbuf []byte
+
+	// Asynchronous fan-out with coalescing backpressure: pending holds the
+	// latest rate per flow not yet drained by the writer goroutine, so a
+	// slow client bounds daemon memory at O(its flows) and always catches
+	// up to the *current* allocation, never a backlog of stale ones.
+	pmu        sync.Mutex
+	pending    map[int64]float64
+	pendingSeq uint64
+	kick       chan struct{}
+	done       chan struct{}
+
+	// flows are the flowlets this session registered (owned). Guarded by
+	// srv.mu.
+	flows map[core.FlowID]struct{}
+}
+
+// ServeConn runs one client session over conn (any net.Conn: loopback TCP
+// from Serve, or an in-memory net.Pipe end for deterministic tests). It
+// blocks until the peer disconnects or the daemon closes, and returns the
+// reason the session ended.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := wire.NewScanner(conn)
+
+	// Handshake: the first frame must be a compatible Hello.
+	typ, payload, err := sc.Next()
+	if err != nil {
+		return fmt.Errorf("server: handshake read: %w", err)
+	}
+	if typ != wire.TypeHello {
+		return fmt.Errorf("server: handshake: expected hello, got %s", typ)
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		return fmt.Errorf("server: handshake: %w", err)
+	}
+	if hello.Version > wire.Version {
+		return fmt.Errorf("server: client speaks protocol v%d, daemon supports v%d", hello.Version, wire.Version)
+	}
+
+	sess := &session{
+		srv:     s,
+		conn:    conn,
+		id:      hello.ClientID,
+		pending: make(map[int64]float64),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		flows:   make(map[core.FlowID]struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.sessions[sess] = struct{}{}
+	s.wg.Add(1) // writer goroutine; under s.mu so it cannot race Close's Wait
+	s.mu.Unlock()
+	s.stSessions.Add(1)
+	s.stActive.Add(1)
+	defer s.removeSession(sess)
+	go func() {
+		defer s.wg.Done()
+		sess.writer()
+	}()
+
+	welcome := wire.AppendWelcome(nil, wire.Welcome{
+		Version:       wire.Version,
+		Epoch:         s.cfg.Epoch,
+		IntervalNanos: uint64(s.cfg.Interval),
+	})
+	if err := sess.write(welcome); err != nil {
+		return fmt.Errorf("server: handshake write: %w", err)
+	}
+	s.logf("session %d connected from %v", sess.id, conn.RemoteAddr())
+
+	for {
+		typ, payload, err := sc.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("server: session %d: %w", sess.id, err)
+		}
+		switch typ {
+		case wire.TypeFlowletAdd:
+			m, err := wire.DecodeFlowletAdd(payload)
+			if err != nil {
+				return fmt.Errorf("server: session %d: %w", sess.id, err)
+			}
+			s.enqueue(event{
+				flow:   core.FlowID(m.Flow),
+				src:    int(m.Src),
+				dst:    int(m.Dst),
+				weight: m.Weight,
+				sess:   sess,
+			})
+		case wire.TypeFlowletEnd:
+			m, err := wire.DecodeFlowletEnd(payload)
+			if err != nil {
+				return fmt.Errorf("server: session %d: %w", sess.id, err)
+			}
+			s.enqueue(event{end: true, flow: core.FlowID(m.Flow), sess: sess})
+		case wire.TypeStep:
+			m, err := wire.DecodeStep(payload)
+			if err != nil {
+				return fmt.Errorf("server: session %d: %w", sess.id, err)
+			}
+			if err := s.iterate(sess, m.Seq); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("server: session %d: unexpected %s frame", sess.id, typ)
+		}
+	}
+}
+
+// enqueue appends a flowlet event to the inbox; it is folded into the
+// allocator at the next iteration boundary.
+func (s *Server) enqueue(ev event) {
+	s.stEvents.Add(1)
+	s.mu.Lock()
+	s.inbox = append(s.inbox, ev)
+	s.mu.Unlock()
+}
+
+// removeSession detaches a session and schedules cleanup of its flowlets:
+// every flow it still owns is retired at the next iteration boundary, so a
+// crashed endpoint's flowlets do not hold fabric shares forever.
+func (s *Server) removeSession(sess *session) {
+	s.mu.Lock()
+	if _, ok := s.sessions[sess]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.sessions, sess)
+	orphans := make([]core.FlowID, 0, len(sess.flows))
+	for id := range sess.flows {
+		orphans = append(orphans, id)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, id := range orphans {
+		s.inbox = append(s.inbox, event{end: true, flow: id})
+	}
+	s.mu.Unlock()
+	close(sess.done)
+	sess.conn.Close()
+	s.stActive.Add(-1)
+	s.logf("session %d disconnected (%d flowlets scheduled for cleanup)", sess.id, len(orphans))
+}
+
+// write sends one pre-encoded frame buffer on the session connection.
+func (sess *session) write(frame []byte) error {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	_, err := sess.conn.Write(frame)
+	return err
+}
+
+// queueUpdate records a rate update for asynchronous delivery, coalescing
+// with any undelivered update for the same flow (latest rate wins). Called
+// with srv.mu held.
+func (sess *session) queueUpdate(flow int64, rate float64, seq uint64) {
+	sess.pmu.Lock()
+	if _, dup := sess.pending[flow]; dup {
+		sess.srv.stCoalesced.Add(1)
+	}
+	sess.pending[flow] = rate
+	sess.pendingSeq = seq
+	sess.pmu.Unlock()
+	select {
+	case sess.kick <- struct{}{}:
+	default:
+	}
+}
+
+// writer drains the pending map into RateBatch frames. One goroutine per
+// session, so a slow client never blocks the allocator loop or its peers.
+// The drain and the write happen under one wmu hold: once a step reply (also
+// serialized by wmu) has purged a superseded rate from the pending map, no
+// stale copy of it can reach the wire afterwards.
+func (sess *session) writer() {
+	var buf []byte
+	var entries []wire.RateEntry
+	for {
+		select {
+		case <-sess.done:
+			return
+		case <-sess.kick:
+		}
+		sess.wmu.Lock()
+		sess.pmu.Lock()
+		if len(sess.pending) == 0 {
+			sess.pmu.Unlock()
+			sess.wmu.Unlock()
+			continue
+		}
+		entries = entries[:0]
+		for flow, rate := range sess.pending {
+			entries = append(entries, wire.RateEntry{Flow: flow, Rate: rate})
+			delete(sess.pending, flow)
+		}
+		seq := sess.pendingSeq
+		sess.pmu.Unlock()
+		// Deterministic wire order regardless of map iteration, chunked
+		// to the per-frame entry limit.
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Flow < entries[j].Flow })
+		writeErr := false
+		for start := 0; start < len(entries); start += maxBatchEntries {
+			end := start + maxBatchEntries
+			if end > len(entries) {
+				end = len(entries)
+			}
+			buf = wire.AppendRateBatch(buf[:0], seq, entries[start:end])
+			if _, err := sess.conn.Write(buf); err != nil {
+				writeErr = true
+				break
+			}
+			sess.srv.stBatches.Add(1)
+			sess.srv.stUpdates.Add(int64(end - start))
+		}
+		sess.wmu.Unlock()
+		if writeErr {
+			sess.srv.removeSession(sess)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The allocator loop
+
+// iterate runs one allocator iteration: drain the inbox, step the engine,
+// and fan updates out. When stepper is non-nil the iteration was requested
+// by a Step frame and the stepper synchronously receives a reply batch
+// (possibly empty) echoing stepSeq with wire.StepReplyFlag set; updates owned
+// by other sessions go through their asynchronous writers.
+func (s *Server) iterate(stepper *session, stepSeq uint64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.drainInboxLocked()
+
+	start := time.Now()
+	updates := s.eng.Iterate()
+	latency := time.Since(start)
+	s.seq++
+	seq := s.seq
+	s.loop.Record(latency.Seconds(), len(updates))
+
+	var reply []byte
+	replyCount, replyBatches := 0, 0
+	if stepper != nil {
+		for _, u := range updates {
+			if s.owners[u.Flow] == stepper {
+				replyCount++
+			}
+		}
+		// Chunk oversized update sets so no frame exceeds the uint24
+		// payload limit. Non-final chunks carry the iteration sequence
+		// (the client folds them in like asynchronous fan-out); only the
+		// final chunk carries the step-reply barrier.
+		reply = stepper.wbuf[:0]
+		if replyCount == 0 {
+			reply = wire.AppendRateBatchHeader(reply, stepSeq|wire.StepReplyFlag, 0)
+			replyBatches = 1
+		} else {
+			emitted, chunkLeft := 0, 0
+			for _, u := range updates {
+				if s.owners[u.Flow] != stepper {
+					continue
+				}
+				if chunkLeft == 0 {
+					n := replyCount - emitted
+					hdrSeq := seq
+					if n <= maxBatchEntries {
+						hdrSeq = stepSeq | wire.StepReplyFlag
+					} else {
+						n = maxBatchEntries
+					}
+					reply = wire.AppendRateBatchHeader(reply, hdrSeq, n)
+					chunkLeft = n
+					replyBatches++
+				}
+				reply = wire.AppendRateEntry(reply, wire.RateEntry{Flow: int64(u.Flow), Rate: u.Rate})
+				chunkLeft--
+				emitted++
+			}
+		}
+		stepper.wbuf = reply
+		// These rates supersede anything still queued for asynchronous
+		// delivery (from interleaved ticker iterations): purge them so the
+		// writer cannot emit a stale rate after the reply.
+		stepper.pmu.Lock()
+		for _, u := range updates {
+			if s.owners[u.Flow] == stepper {
+				delete(stepper.pending, int64(u.Flow))
+			}
+		}
+		stepper.pmu.Unlock()
+	}
+	for _, u := range updates {
+		owner := s.owners[u.Flow]
+		if owner != nil && owner != stepper {
+			owner.queueUpdate(int64(u.Flow), u.Rate, seq)
+		}
+	}
+	s.mu.Unlock()
+
+	if stepper != nil {
+		if err := stepper.write(reply); err != nil {
+			return fmt.Errorf("server: session %d: step reply: %w", stepper.id, err)
+		}
+		s.stBatches.Add(int64(replyBatches))
+		s.stUpdates.Add(int64(replyCount))
+	}
+	return nil
+}
+
+// maxBatchEntries bounds entries per RateBatch frame (a variable so tests
+// can exercise chunking without a million flows).
+var maxBatchEntries = wire.MaxBatchEntries
+
+// drainInboxLocked folds pending flowlet events into the engine, in arrival
+// order, with duplicate/unknown defense. Called with s.mu held.
+func (s *Server) drainInboxLocked() {
+	for _, ev := range s.inbox {
+		if ev.end {
+			owner, ok := s.owners[ev.flow]
+			if !ok {
+				s.stUnknown.Add(1)
+				continue
+			}
+			if err := s.eng.FlowletEnd(ev.flow); err != nil {
+				s.logf("flowlet %d end: %v", ev.flow, err)
+				continue
+			}
+			delete(s.owners, ev.flow)
+			if owner != nil {
+				delete(owner.flows, ev.flow)
+			}
+			continue
+		}
+		if _, dup := s.owners[ev.flow]; dup {
+			s.stDupAdds.Add(1)
+			continue
+		}
+		if ev.sess != nil {
+			if _, live := s.sessions[ev.sess]; !live {
+				// The registering session disconnected before this add
+				// was folded in; its one-shot cleanup has already run,
+				// so registering now would leak the flow forever.
+				s.stRejected.Add(1)
+				continue
+			}
+		}
+		if err := s.eng.FlowletStart(ev.flow, ev.src, ev.dst, ev.weight); err != nil {
+			s.stRejected.Add(1)
+			s.logf("flowlet %d add rejected: %v", ev.flow, err)
+			continue
+		}
+		s.owners[ev.flow] = ev.sess
+		if ev.sess != nil {
+			ev.sess.flows[ev.flow] = struct{}{}
+		}
+	}
+	s.inbox = s.inbox[:0]
+}

@@ -1,0 +1,623 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// testTopology is a small two-tier fabric (16 servers) shared by the tests.
+func testTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	cfg := topology.DefaultSimConfig()
+	cfg.Racks = 4
+	cfg.ServersPerRack = 4
+	cfg.Spines = 2
+	topo, err := topology.NewTwoTier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// testChurn generates a deterministic add/remove event stream.
+func testChurn(t *testing.T, topo *topology.Topology, horizon float64, seed int64) []workload.Event {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Kind:               workload.Web,
+		NumServers:         topo.NumServers(),
+		ServerLinkCapacity: topo.Config().LinkCapacity,
+		Load:               0.6,
+		Seed:               seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := gen.GenerateUntil(horizon)
+	return workload.ChurnEvents(flows, workload.IdealHold(topo.Config().LinkCapacity, 4))
+}
+
+// startPipeDaemon creates a step-driven daemon served over an in-memory pipe
+// and a handshaken client on the other end.
+func startPipeDaemon(t *testing.T, cfg Config) (*Server, *transport.AllocClient) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	clientEnd, serverEnd := net.Pipe()
+	go srv.ServeConn(serverEnd)
+	cli, err := transport.NewAllocClient(clientEnd, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+// TestDaemonMatchesInProcessAllocator is the end-to-end determinism check:
+// the same churn stream, folded in at the same iteration boundaries, must
+// produce bit-identical rate updates whether the allocator runs in process
+// or behind the wire protocol in a daemon.
+func TestDaemonMatchesInProcessAllocator(t *testing.T) {
+	topo := testTopology(t)
+	const horizon = 2e-3
+	const interval = 10e-6
+	events := testChurn(t, topo, horizon, 1)
+
+	srv, cli := startPipeDaemon(t, Config{Topology: topo})
+	if cli.Epoch() != 1 {
+		t.Fatalf("epoch = %d; want the default 1", cli.Epoch())
+	}
+
+	ref, err := core.NewAllocator(core.Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	added := make(map[int64]bool)
+	next := 0
+	steps := 0
+	for now := interval; now <= horizon; now += interval {
+		for next < len(events) && events[next].At <= now {
+			ev := events[next]
+			next++
+			if ev.Kind == workload.FlowletAdd {
+				added[ev.Flow.ID] = true
+				if err := cli.FlowletStart(core.FlowID(ev.Flow.ID), ev.Flow.Src, ev.Flow.Dst, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.FlowletStart(core.FlowID(ev.Flow.ID), ev.Flow.Src, ev.Flow.Dst, 1); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := cli.FlowletEnd(core.FlowID(ev.Flow.ID)); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.FlowletEnd(core.FlowID(ev.Flow.ID)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, err := cli.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Iterate()
+		steps++
+		if len(got) != len(want) {
+			t.Fatalf("step %d: daemon sent %d updates, in-process produced %d", steps, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("step %d update %d: daemon %+v != in-process %+v", steps, i, got[i], want[i])
+			}
+		}
+	}
+	// Removal events whose hold time extends past the horizon drain in one
+	// final iteration.
+	for ; next < len(events); next++ {
+		ev := events[next]
+		if ev.Kind != workload.FlowletRemove || !added[ev.Flow.ID] {
+			continue
+		}
+		if err := cli.FlowletEnd(core.FlowID(ev.Flow.ID)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.FlowletEnd(core.FlowID(ev.Flow.ID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	ref.Iterate()
+	steps++
+	if steps < 100 {
+		t.Fatalf("only %d steps ran; horizon/interval mismatch", steps)
+	}
+
+	// Final rate state must agree too.
+	gotRates := srv.Rates()
+	wantRates := ref.Rates()
+	if len(gotRates) != len(wantRates) {
+		t.Fatalf("daemon tracks %d flows, in-process %d", len(gotRates), len(wantRates))
+	}
+	for id, want := range wantRates {
+		if got, ok := gotRates[id]; !ok || got != want {
+			t.Fatalf("flow %d: daemon rate %g, in-process %g", id, got, want)
+		}
+	}
+	if n := srv.Iterations(); n != uint64(steps) {
+		t.Fatalf("daemon ran %d iterations; %d steps sent", n, steps)
+	}
+	if s := srv.LoopStats(); s.Iterations != int64(steps) || s.LatencySec.Count == 0 {
+		t.Fatalf("loop stats = %+v; want %d iterations with latency samples", s, steps)
+	}
+}
+
+// TestDaemonParallelEngineMatchesInProcess drives the daemon's multicore
+// engine and an in-process ParallelAllocator through the same churn/iterate
+// sequence and requires identical rates.
+func TestDaemonParallelEngineMatchesInProcess(t *testing.T) {
+	topo := testTopology(t)
+	const horizon = 1e-3
+	const interval = 10e-6
+	events := testChurn(t, topo, horizon, 2)
+
+	srv, cli := startPipeDaemon(t, Config{Topology: topo, Blocks: 2})
+
+	pa, err := core.NewParallelAllocator(core.ParallelConfig{
+		Topology:  topo,
+		Blocks:    2,
+		Headroom:  0.01, // the daemon's default UpdateThreshold
+		Normalize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+
+	var flows []core.ParallelFlow
+	index := make(map[core.FlowID]int)
+	dirty := false
+	next := 0
+	for now := interval; now <= horizon; now += interval {
+		for next < len(events) && events[next].At <= now {
+			ev := events[next]
+			next++
+			id := core.FlowID(ev.Flow.ID)
+			if ev.Kind == workload.FlowletAdd {
+				if err := cli.FlowletStart(id, ev.Flow.Src, ev.Flow.Dst, 1); err != nil {
+					t.Fatal(err)
+				}
+				index[id] = len(flows)
+				flows = append(flows, core.ParallelFlow{ID: id, Src: ev.Flow.Src, Dst: ev.Flow.Dst, Weight: 1})
+			} else {
+				if err := cli.FlowletEnd(id); err != nil {
+					t.Fatal(err)
+				}
+				idx := index[id]
+				last := len(flows) - 1
+				if idx != last {
+					flows[idx] = flows[last]
+					index[flows[idx].ID] = idx
+				}
+				flows = flows[:last]
+				delete(index, id)
+			}
+			dirty = true
+		}
+		if _, err := cli.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if len(flows) == 0 {
+			continue
+		}
+		if dirty {
+			if err := pa.SetFlows(flows); err != nil {
+				t.Fatal(err)
+			}
+			dirty = false
+		}
+		pa.Iterate()
+	}
+
+	gotRates := srv.Rates()
+	wantRates := pa.Rates()
+	if len(gotRates) != len(wantRates) || len(gotRates) == 0 {
+		t.Fatalf("daemon tracks %d flows, in-process %d (want equal and non-zero)", len(gotRates), len(wantRates))
+	}
+	for id, want := range wantRates {
+		if got := gotRates[id]; got != want {
+			t.Fatalf("flow %d: daemon rate %g, in-process %g", id, got, want)
+		}
+	}
+}
+
+// TestDaemonOverTCP exercises the daemon over real loopback sockets with two
+// sessions: updates are routed to the session that registered the flow, and
+// a disconnecting session's flowlets are retired at the next iteration.
+func TestDaemonOverTCP(t *testing.T) {
+	topo := testTopology(t)
+	srv, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	a, err := transport.DialAlloc(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := transport.DialAlloc(ln.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// A owns flows 1 and 2, B owns flow 3.
+	if err := a.FlowletStart(1, 0, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FlowletStart(2, 1, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FlowletStart(3, 2, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A's adds travel with its Step frame, but B's flushed add races it
+	// over a separate socket; wait until the daemon has queued B's event
+	// so the first iteration folds in all three flows.
+	waitFor(t, func() bool { return srv.Stats().EventsReceived == 1 })
+
+	got, err := a.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Flow != 1 || got[1].Flow != 2 {
+		t.Fatalf("A received %+v; want updates for flows 1 and 2 only", got)
+	}
+	for _, u := range got {
+		if u.Rate <= 0 {
+			t.Fatalf("flow %d allocated non-positive rate %g", u.Flow, u.Rate)
+		}
+	}
+	// B's update arrives through its asynchronous writer.
+	bu, seq, err := b.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bu) != 1 || bu[0].Flow != 3 || bu[0].Rate <= 0 {
+		t.Fatalf("B received %+v; want one update for flow 3", bu)
+	}
+	if seq != srv.Iterations() {
+		t.Fatalf("B's batch seq = %d; daemon iteration = %d", seq, srv.Iterations())
+	}
+	if n := srv.NumFlows(); n != 3 {
+		t.Fatalf("NumFlows = %d; want 3", n)
+	}
+
+	// Disconnect B: flow 3 must be retired at a subsequent iteration.
+	b.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.NumFlows() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flow 3 not cleaned up after B disconnected; NumFlows = %d", srv.NumFlows())
+		}
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := srv.Stats()
+	if st.SessionsAccepted != 2 || st.SessionsActive != 1 {
+		t.Fatalf("session stats = %+v; want 2 accepted, 1 active", st)
+	}
+}
+
+// TestFreeRunningDaemon runs the daemon with its internal ticker and checks
+// updates flow without Step frames.
+func TestFreeRunningDaemon(t *testing.T) {
+	topo := testTopology(t)
+	srv, err := New(Config{Topology: topo, Interval: 200 * time.Microsecond, Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	cli, err := transport.DialAlloc(ln.Addr().String(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.Epoch() != 9 {
+		t.Fatalf("epoch = %d; want 9", cli.Epoch())
+	}
+	if cli.Interval() != 200*time.Microsecond {
+		t.Fatalf("interval = %v; want 200µs", cli.Interval())
+	}
+
+	if err := cli.FlowletStart(1, 0, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletStart(2, 3, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[core.FlowID]float64)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seen) < 2 && time.Now().Before(deadline) {
+		updates, _, err := cli.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range updates {
+			seen[u.Flow] = u.Rate
+		}
+	}
+	if len(seen) != 2 || seen[1] <= 0 || seen[2] <= 0 {
+		t.Fatalf("received rates %v; want positive rates for flows 1 and 2", seen)
+	}
+	if s := srv.LoopStats(); s.Iterations == 0 || s.IterationsPerSec <= 0 {
+		t.Fatalf("loop stats = %+v; want free-running iterations", s)
+	}
+}
+
+// TestDaemonDefensiveCounters checks duplicate adds, unknown ends, and
+// rejected routes are dropped and counted rather than breaking the loop.
+func TestDaemonDefensiveCounters(t *testing.T) {
+	topo := testTopology(t)
+	srv, cli := startPipeDaemon(t, Config{Topology: topo})
+
+	send := func(frame []byte) {
+		t.Helper()
+		// Raw frames bypass the client's own dup defense.
+		if _, err := cliConn(cli).Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(wire.AppendFlowletAdd(nil, wire.FlowletAdd{Flow: 1, Src: 0, Dst: 5, Weight: 1}))
+	send(wire.AppendFlowletAdd(nil, wire.FlowletAdd{Flow: 1, Src: 0, Dst: 5, Weight: 1}))   // duplicate
+	send(wire.AppendFlowletAdd(nil, wire.FlowletAdd{Flow: 2, Src: 0, Dst: 999, Weight: 1})) // bad route
+	send(wire.AppendFlowletEnd(nil, wire.FlowletEnd{Flow: 77}))                             // unknown
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.NumFlows(); n != 1 {
+		t.Fatalf("NumFlows = %d; want 1", n)
+	}
+	st := srv.Stats()
+	if st.DuplicateAdds != 1 || st.RejectedAdds != 1 || st.UnknownEnds != 1 {
+		t.Fatalf("stats = %+v; want 1 duplicate, 1 rejected, 1 unknown", st)
+	}
+}
+
+// TestServerRejectsBadHandshake covers protocol errors at session start.
+func TestServerRejectsBadHandshake(t *testing.T) {
+	topo := testTopology(t)
+	srv, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// First frame is not a Hello.
+	c1, s1 := net.Pipe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ServeConn(s1) }()
+	go c1.Write(wire.AppendStep(nil, wire.Step{Seq: 1}))
+	if err := <-errc; err == nil {
+		t.Fatal("ServeConn accepted a session without a Hello")
+	}
+	c1.Close()
+
+	// Hello from the future.
+	c2, s2 := net.Pipe()
+	go func() { errc <- srv.ServeConn(s2) }()
+	go c2.Write(wire.AppendHello(nil, wire.Hello{Version: wire.Version + 1, ClientID: 1}))
+	if err := <-errc; err == nil {
+		t.Fatal("ServeConn accepted an incompatible protocol version")
+	}
+	c2.Close()
+}
+
+// waitFor polls cond until true or the test deadline budget is spent.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// cliConn extracts the client's connection for raw-frame tests.
+func cliConn(c *transport.AllocClient) net.Conn { return c.Conn() }
+
+// TestBatchChunking shrinks the per-frame entry limit and checks both the
+// step-reply path and the asynchronous writer split oversized update sets
+// into multiple valid RateBatch frames that clients reassemble.
+func TestBatchChunking(t *testing.T) {
+	old := maxBatchEntries
+	maxBatchEntries = 3
+	defer func() { maxBatchEntries = old }()
+
+	topo := testTopology(t)
+	srv, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	a, err := transport.DialAlloc(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := transport.DialAlloc(ln.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// A owns 8 flows (stepper path), B owns 5 (writer path); all get a
+	// first-iteration rate update, exceeding the 3-entry frame limit.
+	for i := 0; i < 8; i++ {
+		if err := a.FlowletStart(core.FlowID(i), i%8, 8+i%8, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 8; i < 13; i++ {
+		if err := b.FlowletStart(core.FlowID(i), i%8, 8+i%8, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.Stats().EventsReceived == 5 })
+
+	got, err := a.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("A received %d updates; want all 8 across chunked frames", len(got))
+	}
+	seen := make(map[core.FlowID]bool)
+	for len(seen) < 5 {
+		updates, _, err := b.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range updates {
+			seen[u.Flow] = true
+		}
+	}
+	st := srv.Stats()
+	// 8 stepper entries in exactly ceil(8/3)=3 frames; the writer delivers
+	// B's 5 entries in 2 frames when it drains them in one wake, more if
+	// its wakeups interleave with queueing — but never in a single frame.
+	if st.UpdatesSent != 13 {
+		t.Fatalf("stats = %+v; want 13 update entries sent", st)
+	}
+	if st.BatchesSent < 5 || st.BatchesSent > 8 {
+		t.Fatalf("stats = %+v; want 5..8 chunked frames", st)
+	}
+}
+
+// TestAddFromDisconnectedSessionDropped covers the phantom-flow case: an add
+// still in the inbox when its session disconnects must not be registered.
+func TestAddFromDisconnectedSessionDropped(t *testing.T) {
+	topo := testTopology(t)
+	srv, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	a, err := transport.DialAlloc(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ghost, err := transport.DialAlloc(ln.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ghost.FlowletStart(100, 0, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ghost.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the add to be queued, then disconnect before any iteration.
+	waitFor(t, func() bool { return srv.Stats().EventsReceived == 1 })
+	ghost.Close()
+	waitFor(t, func() bool { return srv.Stats().SessionsActive == 1 })
+
+	if _, err := a.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.NumFlows(); n != 0 {
+		t.Fatalf("phantom flow registered: NumFlows = %d; want 0", n)
+	}
+	if st := srv.Stats(); st.RejectedAdds != 1 {
+		t.Fatalf("stats = %+v; want the orphaned add counted as rejected", st)
+	}
+}
+
+// TestCloseUnblocksPreHandshakeConn ensures Close does not hang on a peer
+// that connected but never sent its Hello.
+func TestCloseUnblocksPreHandshakeConn(t *testing.T) {
+	topo := testTopology(t)
+	srv, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	silent, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	// Give the accept loop time to hand the conn to ServeConn.
+	waitFor(t, func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.conns) == 1
+	})
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a pre-handshake connection")
+	}
+}

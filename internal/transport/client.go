@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// AllocatorBackend is where the simulation engine's Flowtune control plane
+// terminates: either the in-process core.Allocator or a flowtuned daemon
+// reached through an AllocClient. FlowletStart/FlowletEnd deliver
+// notifications; Step folds pending notifications in, runs one allocator
+// iteration, and returns the rate updates it produced.
+type AllocatorBackend interface {
+	FlowletStart(id core.FlowID, src, dst int, weight float64) error
+	FlowletEnd(id core.FlowID) error
+	Step() ([]core.RateUpdate, error)
+}
+
+// inprocBackend adapts core.Allocator to AllocatorBackend.
+type inprocBackend struct{ alloc *core.Allocator }
+
+func (b inprocBackend) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	return b.alloc.FlowletStart(id, src, dst, weight)
+}
+func (b inprocBackend) FlowletEnd(id core.FlowID) error  { return b.alloc.FlowletEnd(id) }
+func (b inprocBackend) Step() ([]core.RateUpdate, error) { return b.alloc.Iterate(), nil }
+
+// AllocClient is the endpoint side of the flowtuned wire protocol. It
+// implements AllocatorBackend over any net.Conn — loopback TCP via
+// DialAlloc, or an in-memory net.Pipe end via NewAllocClient for
+// deterministic tests.
+//
+// Flowlet notifications are buffered and flushed in one write per Step (or
+// by an explicit Flush), mirroring the paper's MTU batching of control
+// messages. AllocClient is not safe for concurrent use; the simulation
+// engine and the scenario runner drive it from a single goroutine.
+type AllocClient struct {
+	conn net.Conn
+	sc   *wire.Scanner
+
+	wbuf []byte // buffered outgoing frames
+	seq  uint64 // step sequence counter
+
+	epoch    uint64
+	interval time.Duration
+
+	// src tracks the source server of every registered flow, both to
+	// fill core.RateUpdate.Src on decoded updates and to mirror the
+	// in-process duplicate/unknown defense.
+	src     map[core.FlowID]int
+	updates []core.RateUpdate // reused across Step calls
+}
+
+// DialAlloc connects to a flowtuned daemon over TCP and performs the
+// handshake.
+func DialAlloc(addr string, clientID uint64) (*AllocClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial allocator: %w", err)
+	}
+	c, err := NewAllocClient(conn, clientID)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewAllocClient wraps an established connection to a flowtuned daemon and
+// performs the Hello/Welcome handshake.
+func NewAllocClient(conn net.Conn, clientID uint64) (*AllocClient, error) {
+	c := &AllocClient{
+		conn: conn,
+		sc:   wire.NewScanner(conn),
+		src:  make(map[core.FlowID]int),
+	}
+	hello := wire.AppendHello(nil, wire.Hello{Version: wire.Version, ClientID: clientID})
+	if _, err := conn.Write(hello); err != nil {
+		return nil, fmt.Errorf("transport: allocator handshake: %w", err)
+	}
+	typ, payload, err := c.sc.Next()
+	if err != nil {
+		return nil, fmt.Errorf("transport: allocator handshake: %w", err)
+	}
+	if typ != wire.TypeWelcome {
+		return nil, fmt.Errorf("transport: allocator handshake: expected welcome, got %s", typ)
+	}
+	w, err := wire.DecodeWelcome(payload)
+	if err != nil {
+		return nil, fmt.Errorf("transport: allocator handshake: %w", err)
+	}
+	if w.Version > wire.Version {
+		return nil, fmt.Errorf("transport: daemon speaks protocol v%d, client supports v%d", w.Version, wire.Version)
+	}
+	c.epoch = w.Epoch
+	c.interval = time.Duration(w.IntervalNanos)
+	return c, nil
+}
+
+// Epoch returns the daemon's allocator epoch from the handshake.
+func (c *AllocClient) Epoch() uint64 { return c.epoch }
+
+// Interval returns the daemon's free-running iteration period (zero for a
+// step-driven daemon).
+func (c *AllocClient) Interval() time.Duration { return c.interval }
+
+// NumFlows returns the number of flowlets this client has registered.
+func (c *AllocClient) NumFlows() int { return len(c.src) }
+
+// FlowletStart buffers a flowlet-start notification. Registering an
+// already-registered flow is a no-op, mirroring the engine's defensive
+// duplicate handling.
+func (c *AllocClient) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	if _, dup := c.src[id]; dup {
+		return nil
+	}
+	c.src[id] = src
+	c.wbuf = wire.AppendFlowletAdd(c.wbuf, wire.FlowletAdd{
+		Flow:   int64(id),
+		Src:    int32(src),
+		Dst:    int32(dst),
+		Weight: weight,
+	})
+	return nil
+}
+
+// FlowletEnd buffers a flowlet-end notification. Unknown flows are ignored.
+func (c *AllocClient) FlowletEnd(id core.FlowID) error {
+	if _, ok := c.src[id]; !ok {
+		return nil
+	}
+	delete(c.src, id)
+	c.wbuf = wire.AppendFlowletEnd(c.wbuf, wire.FlowletEnd{Flow: int64(id)})
+	return nil
+}
+
+// Flush writes all buffered notifications to the daemon.
+func (c *AllocClient) Flush() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.conn.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		return fmt.Errorf("transport: allocator flush: %w", err)
+	}
+	return nil
+}
+
+// Step flushes buffered notifications, asks the daemon to run one allocator
+// iteration, and returns the rate updates the daemon addressed to this
+// client. Updates from asynchronous fan-out batches that arrive while
+// waiting are folded in ahead of the step reply, preserving arrival order.
+// The returned slice is reused across calls.
+func (c *AllocClient) Step() ([]core.RateUpdate, error) {
+	c.seq++
+	c.wbuf = wire.AppendStep(c.wbuf, wire.Step{Seq: c.seq})
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return nil, fmt.Errorf("transport: allocator step: %w", err)
+	}
+	c.wbuf = c.wbuf[:0]
+
+	c.updates = c.updates[:0]
+	want := c.seq | wire.StepReplyFlag
+	for {
+		batch, err := c.readBatch()
+		if err != nil {
+			return nil, err
+		}
+		c.appendBatch(batch)
+		if batch.Seq == want {
+			return c.updates, nil
+		}
+	}
+}
+
+// Recv reads the next asynchronous rate batch from a free-running daemon,
+// waiting up to timeout (0 means no deadline). It returns the decoded
+// updates and the daemon iteration that produced them.
+func (c *AllocClient) Recv(timeout time.Duration) ([]core.RateUpdate, uint64, error) {
+	if timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, 0, err
+		}
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	batch, err := c.readBatch()
+	if err != nil {
+		return nil, 0, err
+	}
+	c.updates = c.updates[:0]
+	c.appendBatch(batch)
+	return c.updates, batch.Seq &^ wire.StepReplyFlag, nil
+}
+
+// readBatch reads the next frame, which in protocol v1 must be a RateBatch —
+// the daemon sends nothing else after the handshake.
+func (c *AllocClient) readBatch() (wire.RateBatch, error) {
+	typ, payload, err := c.sc.Next()
+	if err != nil {
+		return wire.RateBatch{}, fmt.Errorf("transport: allocator read: %w", err)
+	}
+	if typ != wire.TypeRateBatch {
+		return wire.RateBatch{}, fmt.Errorf("transport: unexpected %s frame from daemon", typ)
+	}
+	return wire.DecodeRateBatch(payload)
+}
+
+// appendBatch decodes a batch into c.updates, filling Src from the client's
+// registration table. Updates for flows already ended locally are dropped.
+func (c *AllocClient) appendBatch(b wire.RateBatch) {
+	for i := 0; i < b.Len(); i++ {
+		e := b.Entry(i)
+		src, ok := c.src[core.FlowID(e.Flow)]
+		if !ok {
+			continue
+		}
+		c.updates = append(c.updates, core.RateUpdate{
+			Flow: core.FlowID(e.Flow),
+			Src:  src,
+			Rate: e.Rate,
+		})
+	}
+}
+
+// Conn exposes the underlying connection (tests use it to inject raw
+// frames).
+func (c *AllocClient) Conn() net.Conn { return c.conn }
+
+// Close closes the connection to the daemon.
+func (c *AllocClient) Close() error { return c.conn.Close() }

@@ -15,5 +15,9 @@
 // Under the Flowtune scheme the Engine also simulates the control plane:
 // flowlet start/end notifications and rate updates travel as real packets
 // over the allocator's uplinks (topology.PathToAllocator), so control-plane
-// latency and bandwidth are part of every result.
+// latency and bandwidth are part of every result. Where the control plane
+// *terminates* is pluggable through the AllocatorBackend seam: the default
+// is the in-process core.Allocator, and AllocClient — the endpoint side of
+// the flowtuned wire protocol — lets the same simulation drive a live
+// allocator daemon over a socket or in-memory pipe instead.
 package transport

@@ -36,6 +36,12 @@ type EngineConfig struct {
 	QueueSamplePeriod float64
 	// Horizon is the simulation end time in seconds; required by Run.
 	Horizon float64
+	// ExternalAllocator, when set, terminates the Flowtune control plane
+	// outside the engine — typically an AllocClient speaking the wire
+	// protocol to a flowtuned daemon — instead of the in-process
+	// core.Allocator. Control messages still traverse the simulated
+	// fabric; only the allocator computation moves out of process.
+	ExternalAllocator AllocatorBackend
 }
 
 // withDefaults fills unset fields.
@@ -80,7 +86,12 @@ type Engine struct {
 	// receivers (retransmitted duplicates excluded).
 	deliveredBytes int64
 
-	// Flowtune-specific allocator endpoint.
+	// Flowtune-specific allocator endpoint. backend is where control
+	// messages terminate (the in-process allocator, or an external
+	// daemon client); alloc is only set for the in-process case.
+	backend        AllocatorBackend
+	backendErr     error
+	registered     map[core.FlowID]bool
 	alloc          *core.Allocator
 	allocRunning   bool
 	allocFailed    bool
@@ -337,22 +348,30 @@ func (e *Engine) senderFinished(c *conn) {
 // ---------------------------------------------------------------------------
 // Flowtune allocator endpoint
 
-// setupAllocator builds the in-fabric allocator endpoint and its control
-// paths.
+// setupAllocator builds the allocator endpoint and its control paths. The
+// allocator host stays part of the simulated fabric either way; with an
+// external backend the computation happens in the daemon instead of the
+// in-process core.Allocator.
 func (e *Engine) setupAllocator() error {
 	if _, ok := e.topo.AllocatorNode(); !ok {
 		return fmt.Errorf("transport: Flowtune requires a topology with an allocator host")
 	}
-	alloc, err := core.NewAllocator(core.Config{
-		Topology:          e.topo,
-		Gamma:             e.cfg.AllocatorGamma,
-		UpdateThreshold:   e.cfg.UpdateThreshold,
-		IterationInterval: e.cfg.AllocatorInterval,
-	})
-	if err != nil {
-		return err
+	e.registered = make(map[core.FlowID]bool)
+	if e.cfg.ExternalAllocator != nil {
+		e.backend = e.cfg.ExternalAllocator
+	} else {
+		alloc, err := core.NewAllocator(core.Config{
+			Topology:          e.topo,
+			Gamma:             e.cfg.AllocatorGamma,
+			UpdateThreshold:   e.cfg.UpdateThreshold,
+			IterationInterval: e.cfg.AllocatorInterval,
+		})
+		if err != nil {
+			return err
+		}
+		e.alloc = alloc
+		e.backend = inprocBackend{alloc: alloc}
 	}
-	e.alloc = alloc
 	e.ctrlToAlloc = make(map[int][]int32)
 	e.ctrlFromAlloc = make(map[int][]int32)
 	for srv := 0; srv < e.topo.NumServers(); srv++ {
@@ -375,19 +394,29 @@ func (e *Engine) setupAllocator() error {
 // FailAllocator simulates an allocator failure: no new iterations run and no
 // updates are sent; endpoints keep their last allocated rates.
 func (e *Engine) FailAllocator() {
+	if e.backend == nil {
+		return
+	}
 	if e.alloc != nil {
 		e.alloc.Fail()
-		e.allocFailed = true
 	}
+	e.allocFailed = true
 }
 
 // RecoverAllocator restores a failed allocator.
 func (e *Engine) RecoverAllocator() {
+	if e.backend == nil {
+		return
+	}
 	if e.alloc != nil {
 		e.alloc.Recover()
-		e.allocFailed = false
 	}
+	e.allocFailed = false
 }
+
+// Err returns the first fatal control-plane error of the run (a broken
+// connection to an external allocator daemon), or nil.
+func (e *Engine) Err() error { return e.backendErr }
 
 // notifyFlowletStart sends a flowlet-start control message to the allocator.
 func (e *Engine) notifyFlowletStart(c *conn) {
@@ -426,18 +455,22 @@ func (e *Engine) sendControl(src, dst int, path []int32, info *sim.ControlInfo, 
 
 // allocatorReceive handles control packets arriving at the allocator host.
 func (e *Engine) allocatorReceive(p *sim.Packet) {
-	if p.Kind != sim.Control || p.Ctrl == nil || e.alloc == nil || e.allocFailed {
+	if p.Kind != sim.Control || p.Ctrl == nil || e.backend == nil || e.allocFailed || e.backendErr != nil {
 		return
 	}
+	id := core.FlowID(p.Ctrl.Flow)
 	switch p.Ctrl.Type {
 	case sim.CtrlFlowletStart:
 		// Ignore duplicate registrations defensively.
-		if !e.alloc.HasFlow(core.FlowID(p.Ctrl.Flow)) {
-			_ = e.alloc.FlowletStart(core.FlowID(p.Ctrl.Flow), p.Ctrl.Src, p.Ctrl.Dst, 1)
+		if !e.registered[id] {
+			if err := e.backend.FlowletStart(id, p.Ctrl.Src, p.Ctrl.Dst, 1); err == nil {
+				e.registered[id] = true
+			}
 		}
 	case sim.CtrlFlowletEnd:
-		if e.alloc.HasFlow(core.FlowID(p.Ctrl.Flow)) {
-			_ = e.alloc.FlowletEnd(core.FlowID(p.Ctrl.Flow))
+		if e.registered[id] {
+			_ = e.backend.FlowletEnd(id)
+			delete(e.registered, id)
 		}
 	}
 }
@@ -445,8 +478,14 @@ func (e *Engine) allocatorReceive(p *sim.Packet) {
 // allocatorTick runs one allocator iteration and ships the resulting rate
 // updates to endpoints as control packets through the fabric.
 func (e *Engine) allocatorTick() {
-	if e.alloc != nil && !e.allocFailed {
-		updates := e.alloc.Iterate()
+	if e.backend != nil && !e.allocFailed && e.backendErr == nil {
+		updates, err := e.backend.Step()
+		if err != nil {
+			// A broken daemon connection is fatal for the run; record
+			// it and stop ticking so Err surfaces the cause.
+			e.backendErr = err
+			return
+		}
 		for _, u := range updates {
 			e.sendControl(sim.AllocatorDst, u.Src, e.ctrlFromAlloc[u.Src], &sim.ControlInfo{
 				Type: sim.CtrlRateUpdate,

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFrameRoundTrip feeds arbitrary bytes through the frame parser and,
+// for every frame that decodes, re-encodes it and requires a bit-exact
+// round trip. Decoders must never panic on malformed input.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(AppendHello(nil, Hello{Version: Version, ClientID: 1}))
+	f.Add(AppendWelcome(nil, Welcome{Version: Version, Epoch: 3, IntervalNanos: 10_000}))
+	f.Add(AppendFlowletAdd(nil, FlowletAdd{Flow: 7, Src: 1, Dst: 2, Weight: 1.5}))
+	f.Add(AppendFlowletEnd(nil, FlowletEnd{Flow: 7}))
+	f.Add(AppendStep(nil, Step{Seq: 9}))
+	f.Add(AppendRateBatch(nil, 9, []RateEntry{{Flow: 7, Rate: 5e9}, {Flow: 8, Rate: math.NaN()}}))
+	f.Add([]byte{0xFF, 0x00})
+	f.Add(appendHeader(nil, TypeRateBatch, batchHdrLen+3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := data
+		for {
+			typ, payload, rest, err := ParseFrame(buf)
+			if err != nil {
+				return
+			}
+			var reenc []byte
+			switch typ {
+			case TypeHello:
+				m, err := DecodeHello(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendHello(nil, m)
+			case TypeWelcome:
+				m, err := DecodeWelcome(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendWelcome(nil, m)
+			case TypeFlowletAdd:
+				m, err := DecodeFlowletAdd(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendFlowletAdd(nil, m)
+			case TypeFlowletEnd:
+				m, err := DecodeFlowletEnd(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendFlowletEnd(nil, m)
+			case TypeStep:
+				m, err := DecodeStep(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendStep(nil, m)
+			case TypeRateBatch:
+				b, err := DecodeRateBatch(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendRateBatchHeader(nil, b.Seq, b.Len())
+				for i := 0; i < b.Len(); i++ {
+					reenc = AppendRateEntry(reenc, b.Entry(i))
+				}
+			}
+			if reenc != nil {
+				orig := buf[:HeaderBytes+len(payload)]
+				if !bytes.Equal(reenc, orig) {
+					t.Fatalf("%s round trip differs:\n in %x\nout %x", typ, orig, reenc)
+				}
+			}
+			buf = rest
+		}
+	})
+}
+
+// FuzzScanner checks the stream scanner agrees with the buffer parser on
+// arbitrary input: same frame sequence, no panics.
+func FuzzScanner(f *testing.F) {
+	var seed []byte
+	seed = AppendHello(seed, Hello{Version: Version})
+	seed = AppendRateBatch(seed, 1, []RateEntry{{Flow: 1, Rate: 1e9}})
+	f.Add(seed)
+	f.Add([]byte{byte(TypeStep), stepLen, 0, 0, 1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := NewScanner(bytes.NewReader(data))
+		buf := data
+		for {
+			wantType, wantPayload, rest, perr := ParseFrame(buf)
+			gotType, gotPayload, serr := sc.Next()
+			if perr != nil {
+				if serr == nil {
+					t.Fatalf("scanner produced %s where parser failed with %v", gotType, perr)
+				}
+				return
+			}
+			if serr != nil {
+				t.Fatalf("scanner failed with %v where parser produced %s", serr, wantType)
+			}
+			if gotType != wantType || !bytes.Equal(gotPayload, wantPayload) {
+				t.Fatalf("scanner %s %x != parser %s %x", gotType, gotPayload, wantType, wantPayload)
+			}
+			buf = rest
+		}
+	})
+}
+
+// rateEntryLenConsistency pins the wire-format constants: changing a layout
+// without bumping Version must fail loudly.
+func TestWireLayoutConstants(t *testing.T) {
+	if Version != 1 {
+		t.Fatalf("Version = %d; update layout pins when revving the protocol", Version)
+	}
+	pins := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"HeaderBytes", HeaderBytes, 4},
+		{"helloLen", helloLen, 10},
+		{"welcomeLen", welcomeLen, 18},
+		{"addLen", addLen, 24},
+		{"endLen", endLen, 8},
+		{"stepLen", stepLen, 8},
+		{"batchHdrLen", batchHdrLen, 12},
+		{"rateEntryLen", rateEntryLen, 16},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %d; want %d (bump wire.Version when changing the layout)", p.name, p.got, p.want)
+		}
+	}
+	// Endianness pin: Flow 1 encodes with its low byte first.
+	b := AppendFlowletEnd(nil, FlowletEnd{Flow: 1})
+	if b[HeaderBytes] != 1 || binary.LittleEndian.Uint64(b[HeaderBytes:]) != 1 {
+		t.Errorf("FlowletEnd(1) encodes as %x; want little-endian", b)
+	}
+}

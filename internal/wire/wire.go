@@ -1,0 +1,386 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the current protocol version, negotiated in the Hello/Welcome
+// handshake. A server refuses clients speaking a newer major version.
+const Version = 1
+
+// Frame layout: a 4-byte header (message type in byte 0, little-endian uint24
+// payload length in bytes 1-3) followed by the payload. All integer fields
+// are little-endian; rates and weights are IEEE-754 float64 bit patterns.
+const (
+	// HeaderBytes is the fixed frame-header size.
+	HeaderBytes = 4
+	// MaxPayload is the largest encodable payload (the uint24 limit).
+	MaxPayload = 1<<24 - 1
+)
+
+// MsgType identifies the frame type carried in a header.
+type MsgType uint8
+
+// Frame types of protocol version 1.
+const (
+	// TypeInvalid is never sent; it marks the zero value.
+	TypeInvalid MsgType = iota
+	// TypeHello opens a session (client → server).
+	TypeHello
+	// TypeWelcome acknowledges a Hello and carries the allocator epoch
+	// (server → client).
+	TypeWelcome
+	// TypeFlowletAdd registers a flowlet (client → server).
+	TypeFlowletAdd
+	// TypeFlowletEnd retires a flowlet (client → server).
+	TypeFlowletEnd
+	// TypeStep asks the daemon to run one allocator iteration now
+	// (client → server; used by step-driven deterministic runs).
+	TypeStep
+	// TypeRateBatch carries a batch of rate updates (server → client).
+	TypeRateBatch
+)
+
+// String returns the frame-type name.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeWelcome:
+		return "welcome"
+	case TypeFlowletAdd:
+		return "flowlet-add"
+	case TypeFlowletEnd:
+		return "flowlet-end"
+	case TypeStep:
+		return "step"
+	case TypeRateBatch:
+		return "rate-batch"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Fixed payload sizes per frame type.
+const (
+	helloLen     = 10 // version u16 + client id u64
+	welcomeLen   = 18 // version u16 + epoch u64 + interval u64
+	addLen       = 24 // flow i64 + src i32 + dst i32 + weight f64
+	endLen       = 8  // flow i64
+	stepLen      = 8  // seq u64
+	batchHdrLen  = 12 // seq u64 + count u32
+	rateEntryLen = 16 // flow i64 + rate f64
+)
+
+// Hello opens a session. ClientID is an opaque label the daemon echoes in
+// logs; it does not affect allocation.
+type Hello struct {
+	Version  uint16
+	ClientID uint64
+}
+
+// Welcome is the server's handshake reply. Epoch identifies the allocator
+// generation (it changes when a daemon restarts), letting endpoints detect
+// failover and re-register their flowlets. IntervalNanos is the daemon's
+// auto-iteration period in nanoseconds, 0 when step-driven.
+type Welcome struct {
+	Version       uint16
+	Epoch         uint64
+	IntervalNanos uint64
+}
+
+// FlowletAdd registers a flowlet from server Src to server Dst.
+type FlowletAdd struct {
+	Flow     int64
+	Src, Dst int32
+	Weight   float64
+}
+
+// FlowletEnd retires a flowlet.
+type FlowletEnd struct {
+	Flow int64
+}
+
+// Step asks the daemon to fold in pending flowlet events and run one
+// allocator iteration. The daemon replies to the stepping session with a
+// RateBatch echoing Seq (empty when no owned rate changed).
+type Step struct {
+	Seq uint64
+}
+
+// RateEntry is one rate update of a RateBatch.
+type RateEntry struct {
+	Flow int64
+	Rate float64
+}
+
+// StepReplyFlag marks a RateBatch sent as the synchronous reply to a Step
+// frame: its Seq is the Step's Seq with this bit set. Batches fanned out
+// asynchronously carry the daemon's iteration counter with the bit clear,
+// so a client can always tell a step barrier from background updates.
+const StepReplyFlag uint64 = 1 << 63
+
+// ---------------------------------------------------------------------------
+// Encoding. Encoders append a complete frame (header + payload) to buf and
+// return the extended slice; with a pre-grown buffer they do not allocate.
+
+// appendHeader appends a frame header for a payload of n bytes.
+func appendHeader(buf []byte, t MsgType, n int) []byte {
+	return append(buf, byte(t), byte(n), byte(n>>8), byte(n>>16))
+}
+
+// AppendHello appends an encoded Hello frame.
+func AppendHello(buf []byte, m Hello) []byte {
+	buf = appendHeader(buf, TypeHello, helloLen)
+	buf = binary.LittleEndian.AppendUint16(buf, m.Version)
+	return binary.LittleEndian.AppendUint64(buf, m.ClientID)
+}
+
+// AppendWelcome appends an encoded Welcome frame.
+func AppendWelcome(buf []byte, m Welcome) []byte {
+	buf = appendHeader(buf, TypeWelcome, welcomeLen)
+	buf = binary.LittleEndian.AppendUint16(buf, m.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+	return binary.LittleEndian.AppendUint64(buf, m.IntervalNanos)
+}
+
+// AppendFlowletAdd appends an encoded FlowletAdd frame.
+func AppendFlowletAdd(buf []byte, m FlowletAdd) []byte {
+	buf = appendHeader(buf, TypeFlowletAdd, addLen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Flow))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Src))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dst))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Weight))
+}
+
+// AppendFlowletEnd appends an encoded FlowletEnd frame.
+func AppendFlowletEnd(buf []byte, m FlowletEnd) []byte {
+	buf = appendHeader(buf, TypeFlowletEnd, endLen)
+	return binary.LittleEndian.AppendUint64(buf, uint64(m.Flow))
+}
+
+// AppendStep appends an encoded Step frame.
+func AppendStep(buf []byte, m Step) []byte {
+	buf = appendHeader(buf, TypeStep, stepLen)
+	return binary.LittleEndian.AppendUint64(buf, m.Seq)
+}
+
+// MaxBatchEntries is the largest number of entries one RateBatch frame can
+// carry without overflowing the uint24 payload length.
+const MaxBatchEntries = (MaxPayload - batchHdrLen) / rateEntryLen
+
+// AppendRateBatchHeader appends the frame header and batch header of a
+// RateBatch with count entries; the caller then appends exactly count entries
+// with AppendRateEntry. count must not exceed MaxBatchEntries.
+func AppendRateBatchHeader(buf []byte, seq uint64, count int) []byte {
+	buf = appendHeader(buf, TypeRateBatch, batchHdrLen+count*rateEntryLen)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	return binary.LittleEndian.AppendUint32(buf, uint32(count))
+}
+
+// AppendRateEntry appends one entry of a RateBatch opened with
+// AppendRateBatchHeader.
+func AppendRateEntry(buf []byte, e RateEntry) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Flow))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rate))
+}
+
+// AppendRateBatch appends a complete RateBatch frame.
+func AppendRateBatch(buf []byte, seq uint64, entries []RateEntry) []byte {
+	buf = AppendRateBatchHeader(buf, seq, len(entries))
+	for _, e := range entries {
+		buf = AppendRateEntry(buf, e)
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding. Decoders take the payload of one frame (as delivered by
+// ParseFrame or Scanner.Next) and validate its exact length.
+
+// payloadErr reports a payload of the wrong size.
+func payloadErr(t MsgType, want, got int) error {
+	return fmt.Errorf("wire: %s payload must be %d bytes, got %d", t, want, got)
+}
+
+// DecodeHello decodes a Hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	if len(p) != helloLen {
+		return Hello{}, payloadErr(TypeHello, helloLen, len(p))
+	}
+	return Hello{
+		Version:  binary.LittleEndian.Uint16(p),
+		ClientID: binary.LittleEndian.Uint64(p[2:]),
+	}, nil
+}
+
+// DecodeWelcome decodes a Welcome payload.
+func DecodeWelcome(p []byte) (Welcome, error) {
+	if len(p) != welcomeLen {
+		return Welcome{}, payloadErr(TypeWelcome, welcomeLen, len(p))
+	}
+	return Welcome{
+		Version:       binary.LittleEndian.Uint16(p),
+		Epoch:         binary.LittleEndian.Uint64(p[2:]),
+		IntervalNanos: binary.LittleEndian.Uint64(p[10:]),
+	}, nil
+}
+
+// DecodeFlowletAdd decodes a FlowletAdd payload.
+func DecodeFlowletAdd(p []byte) (FlowletAdd, error) {
+	if len(p) != addLen {
+		return FlowletAdd{}, payloadErr(TypeFlowletAdd, addLen, len(p))
+	}
+	return FlowletAdd{
+		Flow:   int64(binary.LittleEndian.Uint64(p)),
+		Src:    int32(binary.LittleEndian.Uint32(p[8:])),
+		Dst:    int32(binary.LittleEndian.Uint32(p[12:])),
+		Weight: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+	}, nil
+}
+
+// DecodeFlowletEnd decodes a FlowletEnd payload.
+func DecodeFlowletEnd(p []byte) (FlowletEnd, error) {
+	if len(p) != endLen {
+		return FlowletEnd{}, payloadErr(TypeFlowletEnd, endLen, len(p))
+	}
+	return FlowletEnd{Flow: int64(binary.LittleEndian.Uint64(p))}, nil
+}
+
+// DecodeStep decodes a Step payload.
+func DecodeStep(p []byte) (Step, error) {
+	if len(p) != stepLen {
+		return Step{}, payloadErr(TypeStep, stepLen, len(p))
+	}
+	return Step{Seq: binary.LittleEndian.Uint64(p)}, nil
+}
+
+// RateBatch is a decoded rate-update batch. It aliases the frame payload, so
+// it is only valid until the underlying buffer is reused; Entry decodes
+// in place without allocating.
+type RateBatch struct {
+	// Seq is the allocator iteration sequence number of the batch.
+	Seq     uint64
+	entries []byte
+}
+
+// DecodeRateBatch decodes a RateBatch payload.
+func DecodeRateBatch(p []byte) (RateBatch, error) {
+	if len(p) < batchHdrLen {
+		return RateBatch{}, fmt.Errorf("wire: rate-batch payload must be at least %d bytes, got %d", batchHdrLen, len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[8:])
+	if want := batchHdrLen + int(count)*rateEntryLen; len(p) != want {
+		return RateBatch{}, fmt.Errorf("wire: rate-batch declares %d entries (%d bytes), got %d bytes", count, want, len(p))
+	}
+	return RateBatch{Seq: binary.LittleEndian.Uint64(p), entries: p[batchHdrLen:]}, nil
+}
+
+// Len returns the number of entries in the batch.
+func (b RateBatch) Len() int { return len(b.entries) / rateEntryLen }
+
+// Entry decodes entry i.
+func (b RateBatch) Entry(i int) RateEntry {
+	p := b.entries[i*rateEntryLen:]
+	return RateEntry{
+		Flow: int64(binary.LittleEndian.Uint64(p)),
+		Rate: math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+// ErrShortFrame reports that a buffer ends mid-frame.
+var ErrShortFrame = fmt.Errorf("wire: short frame")
+
+// validTypes is the highest frame type of this protocol version.
+const maxMsgType = TypeRateBatch
+
+// ParseFrame splits one frame off the front of buf. It returns the frame
+// type, its payload (aliasing buf), and the remaining bytes. A buffer ending
+// mid-frame returns ErrShortFrame; an unknown frame type is an error.
+func ParseFrame(buf []byte) (t MsgType, payload, rest []byte, err error) {
+	if len(buf) < HeaderBytes {
+		return TypeInvalid, nil, buf, ErrShortFrame
+	}
+	t = MsgType(buf[0])
+	if t == TypeInvalid || t > maxMsgType {
+		return TypeInvalid, nil, buf, fmt.Errorf("wire: unknown frame type %d", buf[0])
+	}
+	n := int(buf[1]) | int(buf[2])<<8 | int(buf[3])<<16
+	if len(buf) < HeaderBytes+n {
+		return TypeInvalid, nil, buf, ErrShortFrame
+	}
+	return t, buf[HeaderBytes : HeaderBytes+n], buf[HeaderBytes+n:], nil
+}
+
+// Scanner reads frames from a byte stream, reusing one internal buffer. The
+// payload returned by Next is valid only until the following Next call.
+//
+// A Next call interrupted mid-frame by a transient read error (typically a
+// net.Conn read deadline) keeps the partial frame buffered: the next call
+// resumes where the read stopped instead of desynchronizing the stream, so
+// polling a connection with deadlines is safe.
+type Scanner struct {
+	r       io.Reader
+	hdr     [HeaderBytes]byte
+	hdrHave int
+	buf     []byte
+	payHave int
+	inPay   bool
+}
+
+// NewScanner creates a frame scanner over r.
+func NewScanner(r io.Reader) *Scanner { return &Scanner{r: r} }
+
+// Next reads the next frame. It returns io.EOF at a clean end of stream and
+// io.ErrUnexpectedEOF when the stream ends mid-frame; any other error leaves
+// the partial frame buffered for the next call.
+func (s *Scanner) Next() (MsgType, []byte, error) {
+	for s.hdrHave < HeaderBytes {
+		n, err := s.r.Read(s.hdr[s.hdrHave:])
+		s.hdrHave += n
+		if s.hdrHave >= HeaderBytes {
+			break
+		}
+		if err != nil {
+			if err == io.EOF && s.hdrHave > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return TypeInvalid, nil, err
+		}
+	}
+	t := MsgType(s.hdr[0])
+	if t == TypeInvalid || t > maxMsgType {
+		return TypeInvalid, nil, fmt.Errorf("wire: unknown frame type %d", s.hdr[0])
+	}
+	want := int(s.hdr[1]) | int(s.hdr[2])<<8 | int(s.hdr[3])<<16
+	if !s.inPay {
+		if cap(s.buf) < want {
+			s.buf = make([]byte, want)
+		}
+		s.buf = s.buf[:want]
+		s.payHave = 0
+		s.inPay = true
+	}
+	for s.payHave < want {
+		n, err := s.r.Read(s.buf[s.payHave:])
+		s.payHave += n
+		if s.payHave >= want {
+			break
+		}
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return TypeInvalid, nil, err
+		}
+	}
+	s.hdrHave = 0
+	s.inPay = false
+	return t, s.buf, nil
+}
