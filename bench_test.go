@@ -447,6 +447,110 @@ func BenchmarkAllocatorChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelChurn measures a daemon-realistic iteration boundary of
+// the multicore allocator — a burst of flowlet starts and ends folded in,
+// then one parallel iteration — through the facade's incremental
+// FlowletStart/FlowletEnd path versus a full SetFlows rebuild of the live
+// set (what the daemon engine did before the incremental CSR maintenance).
+// The canonical, larger-scale comparison lives in internal/core.
+func BenchmarkParallelChurn(b *testing.B) {
+	const (
+		baseFlows  = 2048
+		churnBurst = 8
+	)
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks: 8, ServersPerRack: 16, Spines: 4, LinkCapacity: 10e9, LinkDelay: 1e-6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := topo.NumServers()
+	endpoints := func(id int64) (src, dst int) {
+		src = int(id*7) % n
+		dst = int(id*7+11) % n
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		return src, dst
+	}
+	setup := func(b *testing.B) (*flowtune.ParallelAllocator, []flowtune.ParallelFlow) {
+		b.Helper()
+		pa, err := flowtune.NewParallelAllocator(flowtune.ParallelAllocatorConfig{
+			Topology: topo, Blocks: 2, Gamma: 1, Normalize: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows := make([]flowtune.ParallelFlow, baseFlows)
+		for i := range flows {
+			src, dst := endpoints(int64(i))
+			flows[i] = flowtune.ParallelFlow{ID: flowtune.FlowID(i), Src: src, Dst: dst, Weight: 1}
+		}
+		if err := pa.SetFlows(flows); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			pa.Iterate()
+		}
+		return pa, flows
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		pa, _ := setup(b)
+		defer pa.Close()
+		oldest, next := int64(0), int64(baseFlows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < churnBurst; k++ {
+				if err := pa.FlowletEnd(flowtune.FlowID(oldest)); err != nil {
+					b.Fatal(err)
+				}
+				oldest++
+				src, dst := endpoints(next)
+				if err := pa.FlowletStart(flowtune.FlowID(next), src, dst, 1); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			}
+			pa.Iterate()
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		pa, flows := setup(b)
+		defer pa.Close()
+		index := make(map[flowtune.FlowID]int, len(flows))
+		for i, f := range flows {
+			index[f.ID] = i
+		}
+		oldest, next := int64(0), int64(baseFlows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < churnBurst; k++ {
+				idx := index[flowtune.FlowID(oldest)]
+				last := len(flows) - 1
+				if idx != last {
+					flows[idx] = flows[last]
+					index[flows[idx].ID] = idx
+				}
+				flows = flows[:last]
+				delete(index, flowtune.FlowID(oldest))
+				oldest++
+				src, dst := endpoints(next)
+				index[flowtune.FlowID(next)] = len(flows)
+				flows = append(flows, flowtune.ParallelFlow{ID: flowtune.FlowID(next), Src: src, Dst: dst, Weight: 1})
+				next++
+			}
+			if err := pa.SetFlows(flows); err != nil {
+				b.Fatal(err)
+			}
+			pa.Iterate()
+		}
+	})
+}
+
 // BenchmarkPacketSimulator measures raw simulator throughput (events/s) with
 // a DCTCP incast, to document the substrate's capacity.
 func BenchmarkPacketSimulator(b *testing.B) {

@@ -18,6 +18,14 @@
 // CI runs it against both the fresh artifacts and the baselines committed at
 // the repository root, so a scenario can neither silently disappear nor rot
 // its schema.
+//
+// -diff <dir> compares freshly generated results in <dir> against the
+// baselines in -baseline (default "."): the job fails when any scenario's
+// normalized-FCT p99 regresses by more than 2%. Because scenario runs are
+// byte-deterministic for a given seed, the diff also reports whether each
+// result is byte-identical to its baseline — an exact comparison, not a
+// tolerance check — so unintended behavior changes are visible even when
+// they do not move the tails.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,6 +58,9 @@ func main() {
 	list := flag.Bool("list", false, "list the named scenarios and exit")
 	validate := flag.String("validate", "",
 		"validate BENCH_<name>.json files for every named scenario in this directory, then exit")
+	diff := flag.String("diff", "",
+		"compare BENCH_<name>.json files in this directory against the -baseline directory and fail on normalized-FCT p99 regressions, then exit")
+	baseline := flag.String("baseline", ".", "baseline directory for -diff")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -63,6 +75,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("validated %d scenario result files in %s\n", len(experiments.ScenarioNames()), *validate)
+		return
+	}
+	if *diff != "" {
+		if err := diffDirs(*diff, *baseline); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *scenario != "" {
@@ -108,31 +126,104 @@ func validateDir(dir string) error {
 
 // validateScenarioFile checks one BENCH_*.json against the schema.
 func validateScenarioFile(path, name string) error {
+	_, _, err := loadScenarioFile(path, name)
+	return err
+}
+
+// plausibleP99 reports whether a normalized-FCT p99 is a usable gate input:
+// finite and positive (normalized FCT is ≥ 1 by construction, so zero means
+// the statistic was never computed).
+func plausibleP99(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// loadScenarioFile reads one BENCH_*.json, checks it against the schema, and
+// returns the decoded result along with the raw bytes (one read, one decode).
+func loadScenarioFile(path, name string) (*experiments.ScenarioResult, []byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var res experiments.ScenarioResult
 	if err := dec.Decode(&res); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if dec.More() {
-		return fmt.Errorf("%s: trailing data after the result object", path)
+		return nil, nil, fmt.Errorf("%s: trailing data after the result object", path)
 	}
 	switch {
 	case res.Schema != experiments.ScenarioResultSchema:
-		return fmt.Errorf("%s: schema %q, want %q", path, res.Schema, experiments.ScenarioResultSchema)
+		return nil, nil, fmt.Errorf("%s: schema %q, want %q", path, res.Schema, experiments.ScenarioResultSchema)
 	case res.Name != name:
-		return fmt.Errorf("%s: names scenario %q, want %q", path, res.Name, name)
+		return nil, nil, fmt.Errorf("%s: names scenario %q, want %q", path, res.Name, name)
 	case res.Servers <= 0 || res.Duration <= 0:
-		return fmt.Errorf("%s: implausible fabric (%d servers, %gs duration)", path, res.Servers, res.Duration)
+		return nil, nil, fmt.Errorf("%s: implausible fabric (%d servers, %gs duration)", path, res.Servers, res.Duration)
 	case res.Flows <= 0 || res.FinishedFlows <= 0:
-		return fmt.Errorf("%s: no measured flows (%d flows, %d finished)", path, res.Flows, res.FinishedFlows)
+		return nil, nil, fmt.Errorf("%s: no measured flows (%d flows, %d finished)", path, res.Flows, res.FinishedFlows)
 	case res.GoodputBps <= 0:
-		return fmt.Errorf("%s: no goodput recorded", path)
+		return nil, nil, fmt.Errorf("%s: no goodput recorded", path)
 	}
+	return &res, data, nil
+}
+
+// normFCTP99Tolerance is the benchmark-trajectory gate: a fresh run whose
+// normalized-FCT p99 exceeds the baseline's by more than this fraction fails
+// the diff.
+const normFCTP99Tolerance = 0.02
+
+// diffDirs compares the fresh scenario results in freshDir against the
+// baselines in baseDir, failing on any normalized-FCT p99 regression beyond
+// normFCTP99Tolerance. Both directories must hold a valid result for every
+// named scenario.
+func diffDirs(freshDir, baseDir string) error {
+	var problems []string
+	for _, name := range experiments.ScenarioNames() {
+		freshPath := filepath.Join(freshDir, "BENCH_"+name+".json")
+		basePath := filepath.Join(baseDir, "BENCH_"+name+".json")
+		fresh, freshRaw, err := loadScenarioFile(freshPath, name)
+		if err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		base, baseRaw, err := loadScenarioFile(basePath, name)
+		if err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		// Runs are byte-deterministic for a given seed, so identity is an
+		// exact byte comparison, not a float tolerance.
+		identical := bytes.Equal(freshRaw, baseRaw)
+		baseP99, freshP99 := base.NormFCT.P99, fresh.NormFCT.P99
+		// A broken p99 (zero, negative, NaN, Inf) on either side must fail
+		// the gate, never slip through a vacuous float comparison.
+		if !plausibleP99(baseP99) {
+			problems = append(problems, fmt.Sprintf("%s: implausible baseline normalized-FCT p99 %g", basePath, baseP99))
+			continue
+		}
+		if !plausibleP99(freshP99) {
+			problems = append(problems, fmt.Sprintf("%s: implausible fresh normalized-FCT p99 %g", freshPath, freshP99))
+			continue
+		}
+		delta := freshP99/baseP99 - 1
+		status := "changed"
+		if identical {
+			status = "identical"
+		}
+		fmt.Printf("%-20s norm-FCT p99 %12.6f -> %12.6f  (%+.2f%%, %s)\n",
+			name, baseP99, freshP99, delta*100, status)
+		if delta > normFCTP99Tolerance {
+			problems = append(problems,
+				fmt.Sprintf("%s: normalized-FCT p99 regressed %.2f%% (baseline %g, fresh %g, tolerance %.0f%%)",
+					name, delta*100, baseP99, freshP99, normFCTP99Tolerance*100))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("benchmark trajectory regressions:\n  %s", strings.Join(problems, "\n  "))
+	}
+	fmt.Printf("no normalized-FCT p99 regressions beyond %.0f%% across %d scenarios\n",
+		normFCTP99Tolerance*100, len(experiments.ScenarioNames()))
 	return nil
 }
 

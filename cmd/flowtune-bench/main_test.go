@@ -114,3 +114,72 @@ func TestValidateDirRejectsTrailingData(t *testing.T) {
 		t.Fatal("validateDir accepted trailing data after the result object")
 	}
 }
+
+func TestDiffDirsPassesWithinTolerance(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	for _, name := range experiments.ScenarioNames() {
+		writeResult(t, base, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+		// 1% worse: inside the 2% gate.
+		writeResult(t, fresh, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.02 })
+	}
+	if err := diffDirs(fresh, base); err != nil {
+		t.Fatalf("diffDirs rejected a within-tolerance trajectory: %v", err)
+	}
+}
+
+func TestDiffDirsFailsOnP99Regression(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	names := experiments.ScenarioNames()
+	for _, name := range names {
+		writeResult(t, base, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+		writeResult(t, fresh, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+	}
+	// 3% worse on one scenario: beyond the 2% gate.
+	writeResult(t, fresh, names[0], func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.06 })
+	err := diffDirs(fresh, base)
+	if err == nil {
+		t.Fatal("diffDirs accepted a 3% normalized-FCT p99 regression")
+	}
+	if !strings.Contains(err.Error(), names[0]) {
+		t.Fatalf("error does not name the regressed scenario: %v", err)
+	}
+}
+
+func TestDiffDirsFailsOnMissingBaseline(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	names := experiments.ScenarioNames()
+	for _, name := range names {
+		writeResult(t, fresh, name, nil)
+	}
+	for _, name := range names[:len(names)-1] {
+		writeResult(t, base, name, nil)
+	}
+	if err := diffDirs(fresh, base); err == nil {
+		t.Fatal("diffDirs accepted a missing baseline file")
+	}
+}
+
+func TestDiffDirsCommittedBaselinesSelfIdentical(t *testing.T) {
+	// The committed baselines diffed against themselves must pass and be
+	// reported byte-identical (they are the byte-deterministic reference).
+	root := "../.."
+	if err := diffDirs(root, root); err != nil {
+		t.Fatalf("committed baselines fail their own diff: %v", err)
+	}
+}
+
+// JSON cannot carry NaN or Inf (encoding fails at generation time), so the
+// reachable broken-p99 cases in a result file are zero and negative values.
+func TestDiffDirsFailsOnImplausibleP99(t *testing.T) {
+	for _, bad := range []float64{0, -1} {
+		base, fresh := t.TempDir(), t.TempDir()
+		for _, name := range experiments.ScenarioNames() {
+			writeResult(t, base, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+			writeResult(t, fresh, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+		}
+		writeResult(t, fresh, experiments.ScenarioNames()[0], func(r *experiments.ScenarioResult) { r.NormFCT.P99 = bad })
+		if err := diffDirs(fresh, base); err == nil {
+			t.Errorf("diffDirs accepted a fresh normalized-FCT p99 of %g", bad)
+		}
+	}
+}

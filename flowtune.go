@@ -112,6 +112,11 @@ type TrafficStats = core.TrafficStats
 func NewAllocator(cfg AllocatorConfig) (*Allocator, error) { return core.NewAllocator(cfg) }
 
 // ParallelAllocator is the FlowBlock/LinkBlock multicore allocator (§5).
+// Like Allocator it maintains its flow set incrementally: FlowletStart and
+// FlowletEnd fold churn into the owning FlowBlock's CSR arenas in O(route
+// length), SetFlows bulk-loads a whole set, and AppendUpdates walks the
+// per-block notification state without allocating. Close releases the worker
+// pool.
 type ParallelAllocator = core.ParallelAllocator
 
 // ParallelAllocatorConfig configures a ParallelAllocator.
@@ -149,7 +154,11 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return server.New(cfg) }
 
 // DaemonClient is the endpoint side of the flowtuned wire protocol. It also
 // implements AllocatorBackend, so a Simulation can terminate its control
-// plane in an external daemon.
+// plane in an external daemon. After a connection loss, Reconnect
+// re-handshakes over a new connection and re-registers the live flowlet set
+// through the daemon's incremental churn path (the daemon retires a
+// disconnected session's flowlets as orphans, and a restarted daemon
+// advertises a new epoch).
 type DaemonClient = transport.AllocClient
 
 // DialDaemon connects to a flowtuned daemon over TCP.

@@ -8,5 +8,13 @@
 //
 // The sequential Allocator is the engine behind the transport simulator's
 // Flowtune endpoints and the scenario runner in internal/experiments; the
-// ParallelAllocator reproduces the paper's multicore scaling study.
+// ParallelAllocator reproduces the paper's multicore scaling study. Both
+// maintain their flow sets incrementally across churn — FlowletStart and
+// FlowletEnd are O(route length) operations on CSR arenas (per FlowBlock in
+// the parallel case), with swap-delete holes compacted amortizedly — so the
+// per-iteration cost is independent of churn history. The parallel
+// allocator's phases are separated by a sense-reversing spin-then-park
+// barrier, its accumulators are cache-line padded, and its FlowBlocks are
+// laid out in Morton order so early merge-tree rounds touch neighbours; see
+// ARCHITECTURE.md, "The parallel iteration path".
 package core

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/num"
 	"repro/internal/topology"
 )
 
@@ -21,24 +24,48 @@ type ParallelFlow struct {
 // (no per-flow slices — link positions for all flows live concatenated in two
 // arenas, mirroring num.Compiled), its local copies of the two LinkBlocks it
 // updates, and scratch space for aggregation.
+//
+// The CSR is maintained incrementally across flowlet churn: adds append to
+// the arenas, removes swap-delete and leave holes, and an arena is compacted
+// (into a reused scratch buffer) once holes outnumber live entries. Because
+// of the holes the layout keeps explicit per-flow lengths instead of the
+// textbook n+1 offsets array — the same scheme num.Compiled uses.
 type flowBlock struct {
 	srcBlock, dstBlock int
 
 	// Per-flow state, parallel slices indexed by block-local flow index.
-	ids     []FlowID
-	weights []float64
-	rates   []float64
+	// weights hold the capacity-scaled value the hot loop consumes;
+	// baseWeights keep the caller's original weight so LiveFlows can
+	// reproduce registrations bit-exactly (scaling is not a reversible
+	// float operation for arbitrary weights).
+	ids         []FlowID
+	srcs        []int32
+	dsts        []int32
+	weights     []float64
+	baseWeights []float64
+	rates       []float64
+	// lastNotified is the rate most recently reported through
+	// AppendUpdates. Carrying it alongside the CSR (and applying the same
+	// swap-deletes to it) lets the daemon engine's update walk run on
+	// dense arrays with no per-flow map lookups.
+	lastNotified []float64
 
-	// CSR link-position indices: flow i touches positions
-	// upIdx[upOff[i]:upOff[i+1]] of the source block's upward LinkBlock and
-	// downIdx[downOff[i]:downOff[i+1]] of the destination block's downward
-	// LinkBlock.
-	upIdx, upOff     []int32
-	downIdx, downOff []int32
+	// CSR link-position arenas: flow i touches positions
+	// upIdx[upOff[i]:upOff[i]+upLen[i]] of the source block's upward
+	// LinkBlock and downIdx[downOff[i]:downOff[i]+downLen[i]] of the
+	// destination block's downward LinkBlock. Positions are resolved from
+	// the topology once, when the flow is added; churn of other flows
+	// never re-routes this one.
+	upIdx, upOff, upLen       []int32
+	downIdx, downOff, downLen []int32
+	upDead, downDead          int     // arena entries orphaned by swap-deletes
+	upScratch, downScratch    []int32 // ping-pong buffers for compaction
 
 	// Local copies of link state (§5): prices are copied in during the
 	// distribute step; loads and Hessian diagonals are accumulated locally
-	// during the rate-update step and merged during aggregation.
+	// during the rate-update step and merged during aggregation. The four
+	// accumulators are padded to whole cache lines (see paddedFloats) so
+	// concurrent writers in the rate-update phase never false-share.
 	upPrice, downPrice []float64
 	upLoad, downLoad   []float64
 	upHdiag, downHdiag []float64
@@ -46,6 +73,86 @@ type flowBlock struct {
 
 // numFlows returns the number of flows loaded into the block.
 func (fb *flowBlock) numFlows() int { return len(fb.ids) }
+
+// addFlow appends one flow whose up/down link positions have already been
+// written to the arena tails (upIdx/downIdx grew by upN/downN entries).
+func (fb *flowBlock) addFlow(f ParallelFlow, weight, baseWeight float64, upN, downN int) {
+	fb.ids = append(fb.ids, f.ID)
+	fb.srcs = append(fb.srcs, int32(f.Src))
+	fb.dsts = append(fb.dsts, int32(f.Dst))
+	fb.weights = append(fb.weights, weight)
+	fb.baseWeights = append(fb.baseWeights, baseWeight)
+	fb.rates = append(fb.rates, 0)
+	fb.lastNotified = append(fb.lastNotified, 0)
+	fb.upOff = append(fb.upOff, int32(len(fb.upIdx)-upN))
+	fb.upLen = append(fb.upLen, int32(upN))
+	fb.downOff = append(fb.downOff, int32(len(fb.downIdx)-downN))
+	fb.downLen = append(fb.downLen, int32(downN))
+}
+
+// removeSwap removes flow i by moving the block's last flow into its slot,
+// leaving the removed flow's arena entries as holes. It returns the ID of the
+// flow that moved into slot i (the removed flow itself when it was last) so
+// the allocator can fix its locator.
+func (fb *flowBlock) removeSwap(i int) FlowID {
+	last := len(fb.ids) - 1
+	fb.upDead += int(fb.upLen[i])
+	fb.downDead += int(fb.downLen[i])
+	if i != last {
+		fb.ids[i] = fb.ids[last]
+		fb.srcs[i] = fb.srcs[last]
+		fb.dsts[i] = fb.dsts[last]
+		fb.weights[i] = fb.weights[last]
+		fb.baseWeights[i] = fb.baseWeights[last]
+		fb.rates[i] = fb.rates[last]
+		fb.lastNotified[i] = fb.lastNotified[last]
+		fb.upOff[i] = fb.upOff[last]
+		fb.upLen[i] = fb.upLen[last]
+		fb.downOff[i] = fb.downOff[last]
+		fb.downLen[i] = fb.downLen[last]
+	}
+	moved := fb.ids[last]
+	fb.ids = fb.ids[:last]
+	fb.srcs = fb.srcs[:last]
+	fb.dsts = fb.dsts[:last]
+	fb.weights = fb.weights[:last]
+	fb.baseWeights = fb.baseWeights[:last]
+	fb.rates = fb.rates[:last]
+	fb.lastNotified = fb.lastNotified[:last]
+	fb.upOff = fb.upOff[:last]
+	fb.upLen = fb.upLen[:last]
+	fb.downOff = fb.downOff[:last]
+	fb.downLen = fb.downLen[:last]
+	if fb.upDead > len(fb.upIdx)-fb.upDead && fb.upDead > num.CompactMinDead {
+		fb.upIdx, fb.upScratch, fb.upDead = num.CompactArena(fb.upIdx, fb.upScratch, fb.upOff, fb.upLen)
+	}
+	if fb.downDead > len(fb.downIdx)-fb.downDead && fb.downDead > num.CompactMinDead {
+		fb.downIdx, fb.downScratch, fb.downDead = num.CompactArena(fb.downIdx, fb.downScratch, fb.downOff, fb.downLen)
+	}
+	if i != last {
+		return fb.ids[i]
+	}
+	return moved
+}
+
+// reset clears all per-flow state, keeping capacity.
+func (fb *flowBlock) reset() {
+	fb.ids = fb.ids[:0]
+	fb.srcs = fb.srcs[:0]
+	fb.dsts = fb.dsts[:0]
+	fb.weights = fb.weights[:0]
+	fb.baseWeights = fb.baseWeights[:0]
+	fb.rates = fb.rates[:0]
+	fb.lastNotified = fb.lastNotified[:0]
+	fb.upIdx = fb.upIdx[:0]
+	fb.upOff = fb.upOff[:0]
+	fb.upLen = fb.upLen[:0]
+	fb.downIdx = fb.downIdx[:0]
+	fb.downOff = fb.downOff[:0]
+	fb.downLen = fb.downLen[:0]
+	fb.upDead = 0
+	fb.downDead = 0
+}
 
 // linkBlockState is the authoritative state of one LinkBlock (prices persist
 // across iterations; capacities are fixed).
@@ -55,7 +162,7 @@ type linkBlockState struct {
 	cap   []float64
 	// posOf maps LinkID to its position within the block (-1 when the link
 	// is not in the block); a dense array indexed by LinkID replaces the
-	// map lookup on the SetFlows path.
+	// map lookup on the flow-add path.
 	posOf []int32
 }
 
@@ -94,6 +201,14 @@ type ParallelConfig struct {
 	Normalize bool
 }
 
+// flowLoc locates a registered flow: the FlowBlock that holds it and its
+// block-local index. The index moves under swap-deletes; FlowletEnd keeps the
+// locator map consistent.
+type flowLoc struct {
+	fb  int32
+	idx int32
+}
+
 // ParallelAllocator is the FlowBlock/LinkBlock multicore implementation of
 // the NED optimizer (§5). Flows are partitioned by (source block, destination
 // block) into FlowBlocks; each FlowBlock worker updates only its own local
@@ -102,6 +217,11 @@ type ParallelConfig struct {
 // merged into authoritative copies in log2(n) pairwise aggregation rounds
 // (Figure 3), prices are updated on the authoritative copies, and the new
 // prices are distributed back to the FlowBlocks.
+//
+// The flow set is maintained incrementally: FlowletStart and FlowletEnd are
+// O(route length) operations on the owning FlowBlock's CSR arenas, so flowlet
+// churn between iterations never rebuilds or re-routes the rest of the flow
+// set. SetFlows remains as the bulk-load path.
 type ParallelAllocator struct {
 	cfg  ParallelConfig
 	topo *topology.Topology
@@ -110,11 +230,22 @@ type ParallelAllocator struct {
 	numBlocks int
 	gamma     float64
 	maxRate   float64 // per-flow rate cap (the server NIC line rate)
+	linkCap   float64 // weight scale (see FlowletStart)
 
 	up   []*linkBlockState // authoritative upward LinkBlocks, indexed by block
 	down []*linkBlockState // authoritative downward LinkBlocks, indexed by block
 
-	fbs []*flowBlock // indexed by srcBlock*numBlocks + dstBlock
+	// fbs holds the FlowBlocks in Morton (bit-interleaved) order of their
+	// (srcBlock, dstBlock) coordinates, so the partners of the early
+	// pairwise merge rounds sit next to each other — both in the slice and
+	// in the heap, since their accumulator arenas are allocated in the
+	// same order. fbAt is the row-major lookup: fbAt[sb*numBlocks+db].
+	fbs  []*flowBlock
+	fbAt []*flowBlock
+
+	// loc locates every registered flow for FlowletEnd; it is touched only
+	// on churn, never in the iteration hot path.
+	loc map[FlowID]flowLoc
 
 	// Worker pool: one worker per FlowBlock. The outer barrier (workers +
 	// coordinator) marks the start and end of an iteration; the inner
@@ -122,7 +253,7 @@ type ParallelAllocator struct {
 	barrier *barrier
 	inner   *barrier
 	wg      sync.WaitGroup
-	stop    bool
+	stop    atomic.Bool
 	started bool
 
 	numFlows int
@@ -154,29 +285,63 @@ func NewParallelAllocator(cfg ParallelConfig) (*ParallelAllocator, error) {
 		numBlocks: cfg.Blocks,
 		gamma:     gamma,
 		maxRate:   cfg.Topology.Config().LinkCapacity,
+		linkCap:   cfg.Topology.Config().LinkCapacity,
+		loc:       make(map[FlowID]flowLoc),
 	}
 	for b := 0; b < cfg.Blocks; b++ {
 		p.up = append(p.up, newLinkBlockState(cfg.Topology, part.UpwardLinkBlock(b), cfg.Headroom))
 		p.down = append(p.down, newLinkBlockState(cfg.Topology, part.DownwardLinkBlock(b), cfg.Headroom))
 	}
-	for sb := 0; sb < cfg.Blocks; sb++ {
-		for db := 0; db < cfg.Blocks; db++ {
-			fb := &flowBlock{
-				srcBlock:  sb,
-				dstBlock:  db,
-				upPrice:   make([]float64, len(p.up[sb].links)),
-				downPrice: make([]float64, len(p.down[db].links)),
-				upLoad:    make([]float64, len(p.up[sb].links)),
-				downLoad:  make([]float64, len(p.down[db].links)),
-				upHdiag:   make([]float64, len(p.up[sb].links)),
-				downHdiag: make([]float64, len(p.down[db].links)),
-			}
-			copy(fb.upPrice, p.up[sb].price)
-			copy(fb.downPrice, p.down[db].price)
-			p.fbs = append(p.fbs, fb)
+	n := cfg.Blocks
+	p.fbs = make([]*flowBlock, n*n)
+	p.fbAt = make([]*flowBlock, n*n)
+	// Allocate the FlowBlocks (and their accumulator arenas) in Morton
+	// order so round-1 merge partners get adjacent heap placements.
+	for m := 0; m < n*n; m++ {
+		sb, db := mortonCoords(m, n)
+		fb := &flowBlock{
+			srcBlock:  sb,
+			dstBlock:  db,
+			upPrice:   paddedFloats(len(p.up[sb].links)),
+			downPrice: paddedFloats(len(p.down[db].links)),
+			upLoad:    paddedFloats(len(p.up[sb].links)),
+			downLoad:  paddedFloats(len(p.down[db].links)),
+			upHdiag:   paddedFloats(len(p.up[sb].links)),
+			downHdiag: paddedFloats(len(p.down[db].links)),
 		}
+		copy(fb.upPrice, p.up[sb].price)
+		copy(fb.downPrice, p.down[db].price)
+		p.fbs[m] = fb
+		p.fbAt[sb*n+db] = fb
 	}
 	return p, nil
+}
+
+// cacheLineFloats is the number of float64 words per 64-byte cache line.
+const cacheLineFloats = 8
+
+// paddedFloats allocates a float64 slice of length n whose backing array
+// spans whole cache lines, so per-FlowBlock accumulators written concurrently
+// in the rate-update phase never share a line with another block's (Go's size
+// classes place multiple-of-64-byte allocations on 64-byte boundaries).
+func paddedFloats(n int) []float64 {
+	padded := (n + cacheLineFloats - 1) &^ (cacheLineFloats - 1)
+	if padded == 0 {
+		padded = cacheLineFloats
+	}
+	return make([]float64, n, padded)
+}
+
+// mortonCoords decodes Morton index m into (srcBlock, dstBlock) for n blocks:
+// dstBlock occupies the even bits, srcBlock the odd bits. With this
+// interleaving the round-1 up-merge partner (sb, db±1) is the neighbouring
+// slot and the round-1 down-merge partner (sb±1, db) is two slots away.
+func mortonCoords(m, n int) (sb, db int) {
+	for bit := 0; 1<<bit < n; bit++ {
+		db |= (m >> (2 * bit) & 1) << bit
+		sb |= (m >> (2*bit + 1) & 1) << bit
+	}
+	return sb, db
 }
 
 // NumWorkers returns the number of worker goroutines (FlowBlocks).
@@ -188,51 +353,128 @@ func (p *ParallelAllocator) NumFlows() int { return p.numFlows }
 // AggregationSteps returns the number of pairwise merge rounds per iteration.
 func (p *ParallelAllocator) AggregationSteps() int { return p.part.AggregationSteps() }
 
-// SetFlows replaces the allocator's flow set. It may only be called while no
-// Iterate call is in flight.
+// HasFlow reports whether a flowlet is currently registered.
+func (p *ParallelAllocator) HasFlow(id FlowID) bool {
+	_, ok := p.loc[id]
+	return ok
+}
+
+// FlowletStart registers one new flowlet, resolving its route to LinkBlock
+// positions once and appending them to the owning FlowBlock's CSR arenas —
+// an O(route length) operation that leaves every other flow untouched. It may
+// only be called while no Iterate call is in flight.
+func (p *ParallelAllocator) FlowletStart(id FlowID, src, dst int, weight float64) error {
+	if _, dup := p.loc[id]; dup {
+		return fmt.Errorf("core: flowlet %d already registered", id)
+	}
+	return p.addFlow(ParallelFlow{ID: id, Src: src, Dst: dst, Weight: weight})
+}
+
+// addFlow routes and appends one flow (shared by FlowletStart and SetFlows;
+// the caller has already rejected duplicates).
+func (p *ParallelAllocator) addFlow(f ParallelFlow) error {
+	route, err := p.topo.Route(f.Src, f.Dst, int(f.ID))
+	if err != nil {
+		return fmt.Errorf("core: flow %d: %w", f.ID, err)
+	}
+	sb := p.part.BlockOfServer(f.Src)
+	db := p.part.BlockOfServer(f.Dst)
+	fbi := mortonIndex(sb, db, p.numBlocks)
+	fb := p.fbs[fbi]
+	upStart, downStart := len(fb.upIdx), len(fb.downIdx)
+	for _, l := range route {
+		if pos := p.up[sb].posOf[l]; pos >= 0 {
+			fb.upIdx = append(fb.upIdx, pos)
+			continue
+		}
+		if pos := p.down[db].posOf[l]; pos >= 0 {
+			fb.downIdx = append(fb.downIdx, pos)
+			continue
+		}
+		fb.upIdx = fb.upIdx[:upStart]
+		fb.downIdx = fb.downIdx[:downStart]
+		return fmt.Errorf("core: flow %d: link %d is in neither its upward nor its downward LinkBlock", f.ID, l)
+	}
+	weight := f.Weight
+	if weight == 0 {
+		weight = 1
+	}
+	// Weights are scaled by link capacity (as in the sequential allocator)
+	// so prices stay O(1).
+	fb.addFlow(f, weight*p.linkCap, weight, len(fb.upIdx)-upStart, len(fb.downIdx)-downStart)
+	p.loc[f.ID] = flowLoc{fb: int32(fbi), idx: int32(fb.numFlows() - 1)}
+	p.numFlows++
+	return nil
+}
+
+// mortonIndex interleaves the bits of (srcBlock, dstBlock): the inverse of
+// mortonCoords.
+func mortonIndex(sb, db, n int) int {
+	m := 0
+	for bit := 0; 1<<bit < n; bit++ {
+		m |= (db >> bit & 1) << (2 * bit)
+		m |= (sb >> bit & 1) << (2*bit + 1)
+	}
+	return m
+}
+
+// FlowletEnd removes a flowlet by swap-deleting it from its FlowBlock — an
+// O(1) operation (plus an amortized arena compaction once holes outnumber
+// live entries). It may only be called while no Iterate call is in flight.
+func (p *ParallelAllocator) FlowletEnd(id FlowID) error {
+	l, ok := p.loc[id]
+	if !ok {
+		return fmt.Errorf("core: flowlet %d is not registered", id)
+	}
+	fb := p.fbs[l.fb]
+	moved := fb.removeSwap(int(l.idx))
+	if moved != id {
+		p.loc[moved] = flowLoc{fb: l.fb, idx: l.idx}
+	}
+	delete(p.loc, id)
+	p.numFlows--
+	return nil
+}
+
+// SetFlows replaces the allocator's flow set in bulk, re-routing every flow.
+// Link prices persist across calls. Incremental churn should use
+// FlowletStart/FlowletEnd instead; SetFlows remains as the bulk-load path.
+// Flow IDs must be distinct. It may only be called while no Iterate call is
+// in flight.
 func (p *ParallelAllocator) SetFlows(flows []ParallelFlow) error {
 	for _, fb := range p.fbs {
-		fb.ids = fb.ids[:0]
-		fb.weights = fb.weights[:0]
-		fb.rates = fb.rates[:0]
-		fb.upIdx = fb.upIdx[:0]
-		fb.downIdx = fb.downIdx[:0]
-		fb.upOff = append(fb.upOff[:0], 0)
-		fb.downOff = append(fb.downOff[:0], 0)
+		fb.reset()
 	}
+	clear(p.loc)
+	p.numFlows = 0
 	for _, f := range flows {
-		route, err := p.topo.Route(f.Src, f.Dst, int(f.ID))
-		if err != nil {
-			return fmt.Errorf("core: flow %d: %w", f.ID, err)
+		if _, dup := p.loc[f.ID]; dup {
+			return fmt.Errorf("core: duplicate flow ID %d", f.ID)
 		}
-		sb := p.part.BlockOfServer(f.Src)
-		db := p.part.BlockOfServer(f.Dst)
-		fb := p.fbs[sb*p.numBlocks+db]
-		weight := f.Weight
-		if weight == 0 {
-			weight = 1
+		if err := p.addFlow(f); err != nil {
+			return err
 		}
-		for _, l := range route {
-			if pos := p.up[sb].posOf[l]; pos >= 0 {
-				fb.upIdx = append(fb.upIdx, pos)
-				continue
-			}
-			if pos := p.down[db].posOf[l]; pos >= 0 {
-				fb.downIdx = append(fb.downIdx, pos)
-				continue
-			}
-			return fmt.Errorf("core: flow %d: link %d is in neither its upward nor its downward LinkBlock", f.ID, l)
-		}
-		fb.ids = append(fb.ids, f.ID)
-		// Weights are scaled by link capacity (as in the sequential
-		// allocator) so prices stay O(1).
-		fb.weights = append(fb.weights, weight*p.topo.Config().LinkCapacity)
-		fb.rates = append(fb.rates, 0)
-		fb.upOff = append(fb.upOff, int32(len(fb.upIdx)))
-		fb.downOff = append(fb.downOff, int32(len(fb.downIdx)))
 	}
-	p.numFlows = len(flows)
 	return nil
+}
+
+// LiveFlows returns the registered flows in the allocator's internal
+// (FlowBlock-major) order — the canonical order in which rates are reported
+// and loads are accumulated. Feeding the result to SetFlows on an allocator
+// with the same configuration reproduces this allocator's layout exactly.
+func (p *ParallelAllocator) LiveFlows() []ParallelFlow {
+	out := make([]ParallelFlow, 0, p.numFlows)
+	for _, fb := range p.fbs {
+		for i, id := range fb.ids {
+			out = append(out, ParallelFlow{
+				ID:     id,
+				Src:    int(fb.srcs[i]),
+				Dst:    int(fb.dsts[i]),
+				Weight: fb.baseWeights[i],
+			})
+		}
+	}
+	return out
 }
 
 // start launches the persistent worker goroutines on first use.
@@ -254,7 +496,7 @@ func (p *ParallelAllocator) Close() {
 	if !p.started {
 		return
 	}
-	p.stop = true
+	p.stop.Store(true)
 	p.barrier.wait() // release workers into the iteration; they observe stop
 	p.wg.Wait()
 	p.started = false
@@ -276,7 +518,7 @@ func (p *ParallelAllocator) worker(idx int) {
 	n := p.numBlocks
 	for {
 		p.barrier.wait() // wait for Iterate (or Close)
-		if p.stop {
+		if p.stop.Load() {
 			return
 		}
 
@@ -287,15 +529,17 @@ func (p *ParallelAllocator) worker(idx int) {
 
 		// Phase 2: log2(n) pairwise aggregation rounds. Upward LinkBlocks
 		// are reduced across the destination-block dimension; downward
-		// LinkBlocks across the source-block dimension (Figure 3).
+		// LinkBlocks across the source-block dimension (Figure 3). The
+		// Morton layout of fbs makes the stride-1 partners heap
+		// neighbours, so the early (widest) rounds stay local.
 		for stride := 1; stride < n; stride *= 2 {
 			if fb.dstBlock%(2*stride) == 0 && fb.dstBlock+stride < n {
-				other := p.fbs[fb.srcBlock*n+fb.dstBlock+stride]
+				other := p.fbAt[fb.srcBlock*n+fb.dstBlock+stride]
 				addInto(fb.upLoad, other.upLoad)
 				addInto(fb.upHdiag, other.upHdiag)
 			}
 			if fb.srcBlock%(2*stride) == 0 && fb.srcBlock+stride < n {
-				other := p.fbs[(fb.srcBlock+stride)*n+fb.dstBlock]
+				other := p.fbAt[(fb.srcBlock+stride)*n+fb.dstBlock]
 				addInto(fb.downLoad, other.downLoad)
 				addInto(fb.downHdiag, other.downHdiag)
 			}
@@ -341,8 +585,8 @@ func (p *ParallelAllocator) rateUpdatePhase(fb *flowBlock) {
 		fb.downHdiag[i] = 0
 	}
 	for i := 0; i < fb.numFlows(); i++ {
-		up := fb.upIdx[fb.upOff[i]:fb.upOff[i+1]]
-		down := fb.downIdx[fb.downOff[i]:fb.downOff[i+1]]
+		up := fb.upIdx[fb.upOff[i] : fb.upOff[i]+fb.upLen[i]]
+		down := fb.downIdx[fb.downOff[i] : fb.downOff[i]+fb.downLen[i]]
 		priceSum := 0.0
 		for _, pos := range up {
 			priceSum += fb.upPrice[pos]
@@ -397,18 +641,18 @@ func (p *ParallelAllocator) priceUpdatePhase(lb *linkBlockState, load, hdiag []f
 // loads live in the owner FlowBlocks (column 0 for upward, row 0 for
 // downward), which this phase only reads.
 func (p *ParallelAllocator) normalizePhase(fb *flowBlock) {
-	upOwner := p.fbs[fb.srcBlock*p.numBlocks] // (srcBlock, 0)
-	downOwner := p.fbs[fb.dstBlock]           // (0, dstBlock)
+	upOwner := p.fbAt[fb.srcBlock*p.numBlocks] // (srcBlock, 0)
+	downOwner := p.fbAt[fb.dstBlock]           // (0, dstBlock)
 	upCap := p.up[fb.srcBlock].cap
 	downCap := p.down[fb.dstBlock].cap
 	for i := 0; i < fb.numFlows(); i++ {
 		worst := 1.0
-		for _, pos := range fb.upIdx[fb.upOff[i]:fb.upOff[i+1]] {
+		for _, pos := range fb.upIdx[fb.upOff[i] : fb.upOff[i]+fb.upLen[i]] {
 			if r := upOwner.upLoad[pos] / upCap[pos]; r > worst {
 				worst = r
 			}
 		}
-		for _, pos := range fb.downIdx[fb.downOff[i]:fb.downOff[i+1]] {
+		for _, pos := range fb.downIdx[fb.downOff[i] : fb.downOff[i]+fb.downLen[i]] {
 			if r := downOwner.downLoad[pos] / downCap[pos]; r > worst {
 				worst = r
 			}
@@ -438,6 +682,25 @@ func (p *ParallelAllocator) ForEachRate(fn func(FlowID, float64)) {
 	}
 }
 
+// AppendUpdates appends a RateUpdate for every flow whose rate changed
+// significantly (per SignificantRateChange) since it was last reported,
+// records the reported rates, and returns the extended slice. The walk runs
+// over the dense per-FlowBlock arrays — no per-flow map lookups — and
+// allocates nothing once buf has grown to the working-set size. It may only
+// be called while no Iterate is in flight.
+func (p *ParallelAllocator) AppendUpdates(threshold float64, buf []RateUpdate) []RateUpdate {
+	for _, fb := range p.fbs {
+		for i, id := range fb.ids {
+			rate := fb.rates[i]
+			if SignificantRateChange(fb.lastNotified[i], rate, threshold) {
+				fb.lastNotified[i] = rate
+				buf = append(buf, RateUpdate{Flow: id, Src: int(fb.srcs[i]), Rate: rate})
+			}
+		}
+	}
+	return buf
+}
+
 // Prices returns the authoritative link prices keyed by LinkID.
 func (p *ParallelAllocator) Prices() map[topology.LinkID]float64 {
 	out := make(map[topology.LinkID]float64)
@@ -461,17 +724,34 @@ func addInto(dst, src []float64) {
 	}
 }
 
-// barrier is a reusable cyclic barrier for n parties.
+// barrier is a reusable sense-reversing barrier for n parties. Arrival is a
+// single atomic add; the last arriver resets the count and advances the
+// generation (the "sense"), releasing the others. Waiters spin briefly on the
+// generation word — at the allocator's µs-scale phase lengths the partners
+// usually arrive within the spin budget, so the common case costs no kernel
+// transition — and park on a condition variable only when the spin budget
+// runs out (or the scheduler is oversubscribed).
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   uint64
+	n       int32
+	spins   int
+	arrived atomic.Int32
+	gen     atomic.Uint32
+
+	mu   sync.Mutex
+	cond *sync.Cond
 }
 
+// barrierSpins bounds the busy-wait before a waiter parks.
+const barrierSpins = 1 << 13
+
 func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
+	b := &barrier{n: int32(n)}
+	// Spinning only pays when the stragglers can run concurrently with
+	// the spinner; on an oversubscribed scheduler the spinner's timeslice
+	// is exactly what the last arriver is waiting for, so park at once.
+	if n <= runtime.GOMAXPROCS(0) {
+		b.spins = barrierSpins
+	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -479,17 +759,29 @@ func newBarrier(n int) *barrier {
 // wait blocks until all n parties have called wait for the current
 // generation.
 func (b *barrier) wait() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
+	gen := b.gen.Load()
+	if b.arrived.Add(1) == b.n {
+		// Reset before flipping the sense: the other n-1 parties are all
+		// inside wait, so no new arrival can race the reset.
+		b.arrived.Store(0)
+		b.mu.Lock()
+		b.gen.Add(1)
 		b.mu.Unlock()
+		b.cond.Broadcast()
 		return
 	}
-	for gen == b.gen {
+	for spins := 0; spins < b.spins; spins++ {
+		if b.gen.Load() != gen {
+			return
+		}
+		if spins&63 == 63 {
+			// Yield periodically so spinning cannot starve the very
+			// parties being waited for if the scheduler shrank.
+			runtime.Gosched()
+		}
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
 		b.cond.Wait()
 	}
 	b.mu.Unlock()

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// condBarrier is the former sync.Cond-based cyclic barrier, kept as the
+// baseline for BenchmarkBarrier: every wait takes the mutex, and every
+// release goes through a kernel-assisted broadcast, which costs µs-scale
+// wakeups between the allocator's phases.
+type condBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newCondBarrier(n int) *condBarrier {
+	b := &condBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *condBarrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// BenchmarkBarrier compares one full barrier round (all parties arrive and
+// are released) of the sense-reversing atomic barrier against the former
+// sync.Cond implementation, at the party counts of the 2- and 4-block
+// allocator configurations.
+func BenchmarkBarrier(b *testing.B) {
+	for _, parties := range []int{4, 16} {
+		run := func(wait func()) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				var wg sync.WaitGroup
+				for p := 0; p < parties-1; p++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < b.N; i++ {
+							wait()
+						}
+					}()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					wait()
+				}
+				wg.Wait()
+			}
+		}
+		b.Run(fmt.Sprintf("sense-reversing/parties=%d", parties), run(newBarrier(parties).wait))
+		b.Run(fmt.Sprintf("cond/parties=%d", parties), run(newCondBarrier(parties).wait))
+	}
+}
+
+// benchChurnTopo is the fabric shared by the churn benchmarks: 16 racks of
+// 32 servers behind 8 spines.
+func benchChurnTopo(b *testing.B) *topology.Topology {
+	b.Helper()
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks:          16,
+		ServersPerRack: 32,
+		Spines:         8,
+		LinkCapacity:   10e9,
+		LinkDelay:      1e-6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// benchFlow derives deterministic distinct endpoints from a flow ID.
+func benchFlow(id FlowID, numServers int) ParallelFlow {
+	src := int(id*7) % numServers
+	dst := int(id*7+11) % numServers
+	if dst == src {
+		dst = (dst + 1) % numServers
+	}
+	return ParallelFlow{ID: id, Src: src, Dst: dst, Weight: 1}
+}
+
+// BenchmarkParallelChurn measures one daemon-realistic iteration boundary —
+// a burst of flowlet starts and ends folded in, then one parallel iteration —
+// through the incremental FlowletStart/FlowletEnd path versus the former
+// full-rebuild (SetFlows of the whole live set) baseline.
+func BenchmarkParallelChurn(b *testing.B) {
+	const (
+		blocks     = 2
+		baseFlows  = 8192
+		churnBurst = 32 // starts + ends folded in per iteration
+	)
+	topo := benchChurnTopo(b)
+	n := topo.NumServers()
+	setup := func(b *testing.B) (*ParallelAllocator, []ParallelFlow) {
+		b.Helper()
+		pa, err := NewParallelAllocator(ParallelConfig{
+			Topology: topo, Blocks: blocks, Gamma: 1, Normalize: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows := make([]ParallelFlow, baseFlows)
+		for i := range flows {
+			flows[i] = benchFlow(FlowID(i), n)
+		}
+		if err := pa.SetFlows(flows); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			pa.Iterate()
+		}
+		return pa, flows
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		pa, _ := setup(b)
+		defer pa.Close()
+		oldest, next := FlowID(0), FlowID(baseFlows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < churnBurst; k++ {
+				if err := pa.FlowletEnd(oldest); err != nil {
+					b.Fatal(err)
+				}
+				oldest++
+				f := benchFlow(next, n)
+				if err := pa.FlowletStart(f.ID, f.Src, f.Dst, f.Weight); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			}
+			pa.Iterate()
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		pa, flows := setup(b)
+		defer pa.Close()
+		// The former engine's shadow state: the live list plus an ID
+		// index, reloaded wholesale on churn.
+		index := make(map[FlowID]int, len(flows))
+		for i, f := range flows {
+			index[f.ID] = i
+		}
+		oldest, next := FlowID(0), FlowID(baseFlows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < churnBurst; k++ {
+				idx := index[oldest]
+				last := len(flows) - 1
+				if idx != last {
+					flows[idx] = flows[last]
+					index[flows[idx].ID] = idx
+				}
+				flows = flows[:last]
+				delete(index, oldest)
+				oldest++
+				index[next] = len(flows)
+				flows = append(flows, benchFlow(next, n))
+				next++
+			}
+			if err := pa.SetFlows(flows); err != nil {
+				b.Fatal(err)
+			}
+			pa.Iterate()
+		}
+	})
+}

@@ -239,3 +239,229 @@ func TestBarrier(t *testing.T) {
 		<-done
 	}
 }
+
+// TestParallelIncrementalMatchesSetFlows is the churn-equivalence test of the
+// incremental CSR maintenance: driving one allocator through a seeded
+// add/end sequence with FlowletStart/FlowletEnd must produce byte-identical
+// rates to bulk-loading a second allocator with SetFlows from the first's
+// live set (in its canonical FlowBlock order) at every iteration boundary.
+// The removal-heavy phase pushes the arenas past the hole threshold so the
+// equivalence also covers compaction.
+func TestParallelIncrementalMatchesSetFlows(t *testing.T) {
+	topo := parallelTestTopo(t, 8)
+	newPA := func() *ParallelAllocator {
+		pa, err := NewParallelAllocator(ParallelConfig{
+			Topology: topo, Blocks: 2, Gamma: 1, Normalize: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pa
+	}
+	inc := newPA()
+	defer inc.Close()
+	bulk := newPA()
+	defer bulk.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	var live []FlowID
+	nextID := FlowID(0)
+	add := func() {
+		src := rng.Intn(topo.NumServers())
+		dst := rng.Intn(topo.NumServers() - 1)
+		if dst >= src {
+			dst++
+		}
+		// Fractional weights exercise the exact (bit-level) weight
+		// round-trip through LiveFlows.
+		weight := 0.25 + 3*rng.Float64()
+		if err := inc.FlowletStart(nextID, src, dst, weight); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, nextID)
+		nextID++
+	}
+	end := func() {
+		i := rng.Intn(len(live))
+		id := live[i]
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+		if err := inc.FlowletEnd(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	peakArena := 0
+	arenaLen := func() int {
+		total := 0
+		for _, fb := range inc.fbs {
+			total += len(fb.upIdx) + len(fb.downIdx)
+		}
+		return total
+	}
+
+	const rounds = 120
+	for round := 0; round < rounds; round++ {
+		events := 1 + rng.Intn(8)
+		for e := 0; e < events; e++ {
+			switch {
+			case len(live) == 0:
+				add()
+			case round < 50: // growth phase
+				if rng.Intn(10) < 8 {
+					add()
+				} else {
+					end()
+				}
+			case round < 90: // removal phase: drive the arenas past the hole threshold
+				if rng.Intn(10) < 8 {
+					end()
+				} else {
+					add()
+				}
+			default: // steady churn
+				if rng.Intn(2) == 0 {
+					add()
+				} else {
+					end()
+				}
+			}
+		}
+		if a := arenaLen(); a > peakArena {
+			peakArena = a
+		}
+		if err := bulk.SetFlows(inc.LiveFlows()); err != nil {
+			t.Fatal(err)
+		}
+		if inc.NumFlows() == 0 {
+			continue
+		}
+		inc.Iterate()
+		bulk.Iterate()
+		want := bulk.Rates()
+		got := inc.Rates()
+		if len(got) != len(want) || len(got) != len(live) {
+			t.Fatalf("round %d: incremental tracks %d rates, bulk %d, live %d", round, len(got), len(want), len(live))
+		}
+		for id, w := range want {
+			g, ok := got[id]
+			if !ok || math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("round %d flow %d: incremental rate %x differs from bulk %x",
+					round, id, math.Float64bits(g), math.Float64bits(w))
+			}
+		}
+	}
+
+	// The removal phase must actually have exercised compaction: the hole
+	// invariant (dead ≤ max(live, threshold) after every remove) bounds
+	// every arena, and the arenas must have shrunk from their peak rather
+	// than accumulating holes forever.
+	for _, fb := range inc.fbs {
+		for _, arena := range []struct {
+			name string
+			dead int
+			size int
+		}{
+			{"up", fb.upDead, len(fb.upIdx)},
+			{"down", fb.downDead, len(fb.downIdx)},
+		} {
+			livePart := arena.size - arena.dead
+			if arena.dead > livePart && arena.dead > num.CompactMinDead {
+				t.Errorf("FlowBlock (%d,%d) %s arena: %d dead vs %d live entries — compaction did not run",
+					fb.srcBlock, fb.dstBlock, arena.name, arena.dead, livePart)
+			}
+		}
+	}
+	if final := arenaLen(); final >= peakArena {
+		t.Errorf("arena never shrank: final %d entries, peak %d (compaction untested)", final, peakArena)
+	}
+}
+
+// TestParallelFlowletChurnAPI covers the incremental API's edge cases:
+// duplicate adds, unknown ends, swap-delete locator fixups, and interleaving
+// with Iterate.
+func TestParallelFlowletChurnAPI(t *testing.T) {
+	topo := parallelTestTopo(t, 8)
+	pa, err := NewParallelAllocator(ParallelConfig{Topology: topo, Blocks: 2, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+
+	if err := pa.FlowletStart(1, 0, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.FlowletStart(1, 0, 9, 1); err == nil {
+		t.Error("duplicate FlowletStart accepted")
+	}
+	if err := pa.FlowletEnd(99); err == nil {
+		t.Error("unknown FlowletEnd accepted")
+	}
+	if err := pa.FlowletStart(2, 0, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.FlowletStart(3, 1, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !pa.HasFlow(2) || pa.HasFlow(99) {
+		t.Error("HasFlow bookkeeping wrong")
+	}
+	pa.Iterate()
+	// Remove a middle flow; the moved flow must keep its rate and stay
+	// addressable.
+	if err := pa.FlowletEnd(1); err != nil {
+		t.Fatal(err)
+	}
+	if pa.NumFlows() != 2 {
+		t.Fatalf("NumFlows = %d, want 2", pa.NumFlows())
+	}
+	pa.Iterate()
+	rates := pa.Rates()
+	if len(rates) != 2 || rates[2] <= 0 || rates[3] <= 0 {
+		t.Fatalf("rates after churn = %v", rates)
+	}
+	if err := pa.FlowletEnd(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.FlowletEnd(3); err != nil {
+		t.Fatal(err)
+	}
+	if pa.NumFlows() != 0 {
+		t.Fatalf("NumFlows = %d, want 0", pa.NumFlows())
+	}
+	// SetFlows after incremental churn re-bulk-loads cleanly.
+	if err := pa.SetFlows(randomParallelFlows(topo.NumServers(), 20, 5)); err != nil {
+		t.Fatal(err)
+	}
+	pa.Iterate()
+	if got := len(pa.Rates()); got != 20 {
+		t.Errorf("Rates returned %d entries, want 20", got)
+	}
+	if err := pa.SetFlows([]ParallelFlow{{ID: 4, Src: 0, Dst: 9}, {ID: 4, Src: 1, Dst: 9}}); err == nil {
+		t.Error("SetFlows accepted duplicate IDs")
+	}
+}
+
+// TestMortonLayout pins the bit-interleaved FlowBlock order: round-1 up-merge
+// partners must be adjacent, and mortonIndex/mortonCoords must be inverses.
+func TestMortonLayout(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for sb := 0; sb < n; sb++ {
+			for db := 0; db < n; db++ {
+				m := mortonIndex(sb, db, n)
+				if m < 0 || m >= n*n {
+					t.Fatalf("n=%d: mortonIndex(%d,%d) = %d out of range", n, sb, db, m)
+				}
+				gsb, gdb := mortonCoords(m, n)
+				if gsb != sb || gdb != db {
+					t.Fatalf("n=%d: mortonCoords(mortonIndex(%d,%d)) = (%d,%d)", n, sb, db, gsb, gdb)
+				}
+				if db%2 == 0 && db+1 < n {
+					if other := mortonIndex(sb, db+1, n); other != m+1 {
+						t.Errorf("n=%d: up-merge partner of (%d,%d) at %d, want %d", n, sb, db, other, m+1)
+					}
+				}
+			}
+		}
+	}
+}

@@ -218,29 +218,37 @@ func (c *Compiled) removeFlowSwap(i int) {
 		}
 	}
 	c.tvalid = false
-	if live := len(c.Routes) - c.dead; c.dead > live && c.dead > 64 {
-		c.compact()
+	if live := len(c.Routes) - c.dead; c.dead > live && c.dead > CompactMinDead {
+		c.Routes, c.routesScratch, c.dead = CompactArena(c.Routes, c.routesScratch, c.Off, c.Len)
 	}
 }
 
-// compact rewrites the arena without holes into a reused scratch buffer and
-// swaps the buffers, so steady-state churn allocates nothing once the two
-// arenas have grown to the working-set size.
-func (c *Compiled) compact() {
-	live := len(c.Routes) - c.dead
-	buf := c.routesScratch
+// CompactMinDead is the minimum number of orphaned arena entries before a
+// swap-delete considers compaction, shared by every CSR arena in the tree
+// (this package's Compiled index and the parallel allocator's FlowBlocks).
+const CompactMinDead = 64
+
+// CompactArena rewrites a CSR arena (per-flow slices at off[i]:off[i]+len[i])
+// without holes into a reused scratch buffer and swaps the buffers, updating
+// off in place, so steady-state churn allocates nothing once both buffers
+// have grown to the working-set size. It returns the compacted arena, the new
+// scratch buffer (the old arena, truncated), and the reset dead count.
+func CompactArena(arena, scratch, off, length []int32) (newArena, newScratch []int32, dead int) {
+	live := 0
+	for i := range length {
+		live += int(length[i])
+	}
+	buf := scratch
 	if cap(buf) < live {
 		buf = make([]int32, 0, live)
 	}
 	buf = buf[:0]
-	for i := range c.Off {
-		o, n := c.Off[i], c.Len[i]
-		c.Off[i] = int32(len(buf))
-		buf = append(buf, c.Routes[o:o+n]...)
+	for i := range off {
+		o, n := off[i], length[i]
+		off[i] = int32(len(buf))
+		buf = append(buf, arena[o:o+n]...)
 	}
-	c.routesScratch = c.Routes[:0]
-	c.Routes = buf
-	c.dead = 0
+	return buf, arena[:0], 0
 }
 
 // NumFlows returns the number of flows in the index.

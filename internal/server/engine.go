@@ -2,7 +2,6 @@ package server
 
 import (
 	"repro/internal/core"
-	"repro/internal/topology"
 )
 
 // engine abstracts the daemon's optimizer: the sequential NED allocator or
@@ -46,22 +45,19 @@ func (e *coreEngine) NumFlows() int                   { return e.alloc.NumFlows(
 func (e *coreEngine) Rates() map[core.FlowID]float64  { return e.alloc.Rates() }
 func (e *coreEngine) Close()                          {}
 
-// parallelEngine adapts the multicore core.ParallelAllocator. The parallel
-// allocator takes whole flow sets, so the engine keeps the live flow list,
-// reloads it on churn (SetFlows is CSR-compiled, so this is a linear pass),
-// and layers the sequential allocator's threshold-based update suppression
-// on top, tracking the rate last notified per flow.
+// parallelEngine adapts the multicore core.ParallelAllocator, which now
+// maintains its flow set incrementally: FlowletStart/FlowletEnd are O(route
+// length) CSR operations on the owning FlowBlock, so the engine keeps no
+// shadow flow list, no dirty flag, and performs no full reload at iteration
+// boundaries. Errors surface directly from FlowletStart (a bad route is
+// rejected — and counted — when the add is folded in, never swallowed at
+// reload time). Update suppression runs inside the allocator over dense
+// per-FlowBlock lastNotified arrays carried alongside the CSR, replacing the
+// former per-flow map lookup in the update walk.
 type parallelEngine struct {
 	pa        *core.ParallelAllocator
-	topo      *topology.Topology
 	threshold float64
-
-	flows        []core.ParallelFlow
-	lastNotified []float64
-	index        map[core.FlowID]int
-	dirty        bool
-
-	updates []core.RateUpdate // reused across Iterate calls
+	updates   []core.RateUpdate // reused across Iterate calls
 }
 
 func newParallelEngine(cfg Config) (*parallelEngine, error) {
@@ -75,89 +71,29 @@ func newParallelEngine(cfg Config) (*parallelEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &parallelEngine{
-		pa:        pa,
-		topo:      cfg.Topology,
-		threshold: cfg.UpdateThreshold,
-		index:     make(map[core.FlowID]int),
-	}, nil
+	return &parallelEngine{pa: pa, threshold: cfg.UpdateThreshold}, nil
 }
 
 func (e *parallelEngine) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
-	// Validate the route now so a bad add is rejected (and counted)
-	// immediately, mirroring the sequential engine; SetFlows would only
-	// surface it at the next iteration.
-	if _, err := e.topo.Route(src, dst, int(id)); err != nil {
-		return err
-	}
-	e.index[id] = len(e.flows)
-	e.flows = append(e.flows, core.ParallelFlow{ID: id, Src: src, Dst: dst, Weight: weight})
-	e.lastNotified = append(e.lastNotified, 0)
-	e.dirty = true
-	return nil
+	return e.pa.FlowletStart(id, src, dst, weight)
 }
 
-func (e *parallelEngine) FlowletEnd(id core.FlowID) error {
-	idx, ok := e.index[id]
-	if !ok {
-		return nil
-	}
-	last := len(e.flows) - 1
-	if idx != last {
-		e.flows[idx] = e.flows[last]
-		e.lastNotified[idx] = e.lastNotified[last]
-		e.index[e.flows[idx].ID] = idx
-	}
-	e.flows = e.flows[:last]
-	e.lastNotified = e.lastNotified[:last]
-	delete(e.index, id)
-	e.dirty = true
-	return nil
-}
+func (e *parallelEngine) FlowletEnd(id core.FlowID) error { return e.pa.FlowletEnd(id) }
 
 func (e *parallelEngine) Iterate() []core.RateUpdate {
-	if len(e.flows) == 0 {
+	// Skip the iteration entirely while idle, mirroring the sequential
+	// allocator: prices neither advance nor decay when no flows are
+	// registered.
+	if e.pa.NumFlows() == 0 {
 		return nil
 	}
-	if e.dirty {
-		if err := e.pa.SetFlows(e.flows); err != nil {
-			// A flow with no route slipped past validation; drop the
-			// whole reload rather than allocate from stale state.
-			return nil
-		}
-		e.dirty = false
-	}
 	e.pa.Iterate()
-	// Threshold directly in the rate walk — one e.index lookup per flow,
-	// no per-iteration rate map. Update order is FlowBlock order, which is
-	// deterministic for a given churn sequence.
-	updates := e.updates[:0]
-	e.pa.ForEachRate(func(id core.FlowID, rate float64) {
-		i, ok := e.index[id]
-		if !ok {
-			return
-		}
-		if core.SignificantRateChange(e.lastNotified[i], rate, e.threshold) {
-			e.lastNotified[i] = rate
-			updates = append(updates, core.RateUpdate{Flow: id, Src: e.flows[i].Src, Rate: rate})
-		}
-	})
-	e.updates = updates
-	return updates
+	e.updates = e.pa.AppendUpdates(e.threshold, e.updates[:0])
+	return e.updates
 }
 
-func (e *parallelEngine) NumFlows() int { return len(e.flows) }
+func (e *parallelEngine) NumFlows() int { return e.pa.NumFlows() }
 
-// Rates reports rates for the *live* flow set only: after churn, the
-// underlying allocator may still hold retired flows until the next reload,
-// and before the first post-churn Iterate a new flow has no rate yet.
-func (e *parallelEngine) Rates() map[core.FlowID]float64 {
-	paRates := e.pa.Rates()
-	out := make(map[core.FlowID]float64, len(e.flows))
-	for i := range e.flows {
-		out[e.flows[i].ID] = paRates[e.flows[i].ID]
-	}
-	return out
-}
+func (e *parallelEngine) Rates() map[core.FlowID]float64 { return e.pa.Rates() }
 
 func (e *parallelEngine) Close() { e.pa.Close() }

@@ -77,7 +77,12 @@ type event struct {
 	flow     core.FlowID
 	src, dst int
 	weight   float64
-	sess     *session // nil for internally generated cleanup events
+	sess     *session
+	// cleanup marks an orphan-retirement event generated when sess
+	// disconnected. It only applies while sess still owns the flow: if a
+	// reconnected client re-registered the flow under a new session before
+	// the sweep ran, the stale cleanup must not retire it.
+	cleanup bool
 }
 
 // Server is the flowtuned allocator daemon: it owns the optimizer, drains
@@ -471,7 +476,7 @@ func (s *Server) removeSession(sess *session) {
 	}
 	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
 	for _, id := range orphans {
-		s.inbox = append(s.inbox, event{end: true, flow: id})
+		s.inbox = append(s.inbox, event{end: true, flow: id, sess: sess, cleanup: true})
 	}
 	s.mu.Unlock()
 	close(sess.done)
@@ -662,6 +667,13 @@ func (s *Server) drainInboxLocked() {
 			owner, ok := s.owners[ev.flow]
 			if !ok {
 				s.stUnknown.Add(1)
+				continue
+			}
+			if ev.cleanup && owner != ev.sess {
+				// Stale orphan sweep: the flow was re-registered (by a
+				// reconnected client under a new session) after the dead
+				// session's cleanup was scheduled. The new owner's
+				// registration stands.
 				continue
 			}
 			if err := s.eng.FlowletEnd(ev.flow); err != nil {

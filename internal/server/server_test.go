@@ -185,9 +185,8 @@ func TestDaemonParallelEngineMatchesInProcess(t *testing.T) {
 	}
 	defer pa.Close()
 
-	var flows []core.ParallelFlow
-	index := make(map[core.FlowID]int)
-	dirty := false
+	// Mirror the daemon engine exactly: both sides fold churn in through
+	// the allocator's incremental FlowletStart/FlowletEnd path.
 	next := 0
 	for now := interval; now <= horizon; now += interval {
 		for next < len(events) && events[next].At <= now {
@@ -198,34 +197,23 @@ func TestDaemonParallelEngineMatchesInProcess(t *testing.T) {
 				if err := cli.FlowletStart(id, ev.Flow.Src, ev.Flow.Dst, 1); err != nil {
 					t.Fatal(err)
 				}
-				index[id] = len(flows)
-				flows = append(flows, core.ParallelFlow{ID: id, Src: ev.Flow.Src, Dst: ev.Flow.Dst, Weight: 1})
+				if err := pa.FlowletStart(id, ev.Flow.Src, ev.Flow.Dst, 1); err != nil {
+					t.Fatal(err)
+				}
 			} else {
 				if err := cli.FlowletEnd(id); err != nil {
 					t.Fatal(err)
 				}
-				idx := index[id]
-				last := len(flows) - 1
-				if idx != last {
-					flows[idx] = flows[last]
-					index[flows[idx].ID] = idx
+				if err := pa.FlowletEnd(id); err != nil {
+					t.Fatal(err)
 				}
-				flows = flows[:last]
-				delete(index, id)
 			}
-			dirty = true
 		}
 		if _, err := cli.Step(); err != nil {
 			t.Fatal(err)
 		}
-		if len(flows) == 0 {
+		if pa.NumFlows() == 0 {
 			continue
-		}
-		if dirty {
-			if err := pa.SetFlows(flows); err != nil {
-				t.Fatal(err)
-			}
-			dirty = false
 		}
 		pa.Iterate()
 	}
@@ -619,5 +607,187 @@ func TestCloseUnblocksPreHandshakeConn(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Close hung on a pre-handshake connection")
+	}
+}
+
+// TestParallelEngineRejectsBadAdd is the error-path test for the incremental
+// churn API: a flowlet with an unroutable endpoint must be rejected (and
+// counted) at the iteration boundary it is folded in at, without disturbing
+// the engine's live flows — the former SetFlows-based engine silently dropped
+// the whole reload instead.
+func TestParallelEngineRejectsBadAdd(t *testing.T) {
+	topo := testTopology(t)
+	srv, cli := startPipeDaemon(t, Config{Topology: topo, Blocks: 2})
+
+	if err := cli.FlowletStart(1, 0, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Raw frame bypasses the client's own validation.
+	bad := wire.AppendFlowletAdd(nil, wire.FlowletAdd{Flow: 2, Src: 0, Dst: 999, Weight: 1})
+	if _, err := cliConn(cli).Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletStart(3, 4, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.NumFlows(); n != 2 {
+		t.Fatalf("NumFlows = %d; want 2 (good adds folded, bad add rejected)", n)
+	}
+	if st := srv.Stats(); st.RejectedAdds != 1 {
+		t.Fatalf("RejectedAdds = %d; want 1", st.RejectedAdds)
+	}
+	// The engine keeps allocating for the surviving flows.
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rates := srv.Rates()
+	if len(rates) != 2 || rates[1] <= 0 || rates[3] <= 0 {
+		t.Fatalf("rates = %v; want positive rates for flows 1 and 3", rates)
+	}
+}
+
+// TestParallelEngineSteadyStateAllocs pins the daemon engine's hot loop: with
+// a stable flow set, Iterate (parallel NED step + update walk over the dense
+// per-block notification arrays) must not allocate.
+func TestParallelEngineSteadyStateAllocs(t *testing.T) {
+	topo := testTopology(t)
+	eng, err := newParallelEngine(Config{Topology: topo, Blocks: 2, UpdateThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 64; i++ {
+		if err := eng.FlowletStart(core.FlowID(i), i%16, (i+5)%16, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Converge (and grow the reused update buffer to its working size).
+	for i := 0; i < 50; i++ {
+		eng.Iterate()
+	}
+	if allocs := testing.AllocsPerRun(100, func() { eng.Iterate() }); allocs != 0 {
+		t.Fatalf("steady-state Iterate allocates %.1f times per op; want 0", allocs)
+	}
+}
+
+// TestClientReconnect covers the client re-registration path: after the
+// session drops, the daemon retires the orphaned flowlets, and Reconnect must
+// re-register the live set through the incremental churn path so allocation
+// resumes.
+func TestClientReconnect(t *testing.T) {
+	topo := testTopology(t)
+	srv, cli := startPipeDaemon(t, Config{Topology: topo, Blocks: 2, Epoch: 7})
+
+	if err := cli.FlowletStart(1, 0, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletStart(2, 8, 13, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletStart(3, 2, 11, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletEnd(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.NumFlows(); n != 2 {
+		t.Fatalf("NumFlows = %d; want 2", n)
+	}
+
+	// Kill the session; the daemon retires the orphans at the next
+	// iteration boundary.
+	cliConn(cli).Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().SessionsActive != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session did not close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	clientEnd, serverEnd := net.Pipe()
+	go srv.ServeConn(serverEnd)
+	if err := cli.Reconnect(clientEnd); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Epoch() != 7 {
+		t.Fatalf("Epoch = %d; want 7", cli.Epoch())
+	}
+	if cli.NumFlows() != 2 {
+		t.Fatalf("client NumFlows = %d; want 2 live registrations", cli.NumFlows())
+	}
+	// The first Step flushes the buffered re-registrations (folding the
+	// orphan cleanup and the re-adds in arrival order) and iterates.
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.NumFlows(); n != 2 {
+		t.Fatalf("NumFlows after reconnect = %d; want 2", n)
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rates := srv.Rates()
+	if len(rates) != 2 || rates[1] <= 0 || rates[2] <= 0 {
+		t.Fatalf("rates after reconnect = %v; want flows 1 and 2 allocated", rates)
+	}
+}
+
+// TestClientReconnectBeforeCleanup reconnects without waiting for the daemon
+// to notice the old session died, the racy path: Reconnect closes the old
+// connection itself and re-registers via End/Add pairs, and the daemon's
+// orphan sweep is ownership-checked, so whichever order the old session's
+// cleanup and the new session's re-registrations fold in, the live set must
+// converge to the client's registrations.
+func TestClientReconnectBeforeCleanup(t *testing.T) {
+	topo := testTopology(t)
+	srv, cli := startPipeDaemon(t, Config{Topology: topo, Blocks: 2})
+
+	if err := cli.FlowletStart(1, 0, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletStart(2, 8, 13, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No explicit close, no wait: Reconnect tears the old connection down.
+	clientEnd, serverEnd := net.Pipe()
+	go srv.ServeConn(serverEnd)
+	if err := cli.Reconnect(clientEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the old session's orphan sweep a boundary to (wrongly) fire on,
+	// then check it did not retire the re-registered flows.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().SessionsActive != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("old session never detected as closed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.NumFlows(); n != 2 {
+		t.Fatalf("NumFlows after racy reconnect = %d; want 2", n)
+	}
+	rates := srv.Rates()
+	if len(rates) != 2 || rates[1] <= 0 || rates[2] <= 0 {
+		t.Fatalf("rates after racy reconnect = %v; want flows 1 and 2 allocated", rates)
 	}
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"net"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -41,6 +42,7 @@ func (b inprocBackend) Step() ([]core.RateUpdate, error) { return b.alloc.Iterat
 type AllocClient struct {
 	conn net.Conn
 	sc   *wire.Scanner
+	id   uint64 // client label from the Hello handshake
 
 	wbuf []byte // buffered outgoing frames
 	seq  uint64 // step sequence counter
@@ -48,11 +50,18 @@ type AllocClient struct {
 	epoch    uint64
 	interval time.Duration
 
-	// src tracks the source server of every registered flow, both to
-	// fill core.RateUpdate.Src on decoded updates and to mirror the
-	// in-process duplicate/unknown defense.
-	src     map[core.FlowID]int
+	// regs tracks the full registration of every live flow: the source
+	// server fills core.RateUpdate.Src on decoded updates and mirrors the
+	// in-process duplicate/unknown defense, and the rest lets Reconnect
+	// re-register the live flowlet set with a fresh daemon session.
+	regs    map[core.FlowID]flowReg
 	updates []core.RateUpdate // reused across Step calls
+}
+
+// flowReg is the client-side record of one registered flowlet.
+type flowReg struct {
+	src, dst int32
+	weight   float64
 }
 
 // DialAlloc connects to a flowtuned daemon over TCP and performs the
@@ -74,31 +83,85 @@ func DialAlloc(addr string, clientID uint64) (*AllocClient, error) {
 // performs the Hello/Welcome handshake.
 func NewAllocClient(conn net.Conn, clientID uint64) (*AllocClient, error) {
 	c := &AllocClient{
-		conn: conn,
-		sc:   wire.NewScanner(conn),
-		src:  make(map[core.FlowID]int),
+		id:   clientID,
+		regs: make(map[core.FlowID]flowReg),
 	}
-	hello := wire.AppendHello(nil, wire.Hello{Version: wire.Version, ClientID: clientID})
+	if err := c.handshake(conn); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// handshake performs the Hello/Welcome exchange over conn and adopts it as
+// the client's connection.
+func (c *AllocClient) handshake(conn net.Conn) error {
+	sc := wire.NewScanner(conn)
+	hello := wire.AppendHello(nil, wire.Hello{Version: wire.Version, ClientID: c.id})
 	if _, err := conn.Write(hello); err != nil {
-		return nil, fmt.Errorf("transport: allocator handshake: %w", err)
+		return fmt.Errorf("transport: allocator handshake: %w", err)
 	}
-	typ, payload, err := c.sc.Next()
+	typ, payload, err := sc.Next()
 	if err != nil {
-		return nil, fmt.Errorf("transport: allocator handshake: %w", err)
+		return fmt.Errorf("transport: allocator handshake: %w", err)
 	}
 	if typ != wire.TypeWelcome {
-		return nil, fmt.Errorf("transport: allocator handshake: expected welcome, got %s", typ)
+		return fmt.Errorf("transport: allocator handshake: expected welcome, got %s", typ)
 	}
 	w, err := wire.DecodeWelcome(payload)
 	if err != nil {
-		return nil, fmt.Errorf("transport: allocator handshake: %w", err)
+		return fmt.Errorf("transport: allocator handshake: %w", err)
 	}
 	if w.Version > wire.Version {
-		return nil, fmt.Errorf("transport: daemon speaks protocol v%d, client supports v%d", w.Version, wire.Version)
+		return fmt.Errorf("transport: daemon speaks protocol v%d, client supports v%d", w.Version, wire.Version)
 	}
+	c.conn = conn
+	c.sc = sc
 	c.epoch = w.Epoch
 	c.interval = time.Duration(w.IntervalNanos)
-	return c, nil
+	return nil
+}
+
+// Reconnect re-establishes the session over a new connection after the old
+// one failed (or the daemon restarted): it closes the previous connection (so
+// the daemon's reader notices the death promptly and retires the old
+// session's ownership), performs the handshake on conn, and re-registers
+// every live flowlet through the daemon's incremental churn path. Each
+// re-registration is an End/Add pair: if the daemon has not yet detected the
+// old session's death when the frames are folded in, the End retires the
+// stale ownership so the Add can never be dropped as a duplicate, and the
+// daemon's orphan sweep is ownership-checked so it cannot later retire the
+// fresh registration. The frames are buffered and flushed by the next Flush
+// or Step, like ordinary notifications; Epoch reports the new session's
+// allocator generation afterwards.
+func (c *AllocClient) Reconnect(conn net.Conn) error {
+	if c.conn != nil && c.conn != conn {
+		c.conn.Close()
+	}
+	if err := c.handshake(conn); err != nil {
+		return err
+	}
+	// Frames buffered for the dead connection (and the step-sequence
+	// space) belong to the old session.
+	c.wbuf = c.wbuf[:0]
+	c.seq = 0
+	// Deterministic re-registration order keeps daemon-side folding (and
+	// therefore rate trajectories) reproducible in tests.
+	ids := make([]core.FlowID, 0, len(c.regs))
+	for id := range c.regs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := c.regs[id]
+		c.wbuf = wire.AppendFlowletEnd(c.wbuf, wire.FlowletEnd{Flow: int64(id)})
+		c.wbuf = wire.AppendFlowletAdd(c.wbuf, wire.FlowletAdd{
+			Flow:   int64(id),
+			Src:    r.src,
+			Dst:    r.dst,
+			Weight: r.weight,
+		})
+	}
+	return nil
 }
 
 // Epoch returns the daemon's allocator epoch from the handshake.
@@ -109,16 +172,16 @@ func (c *AllocClient) Epoch() uint64 { return c.epoch }
 func (c *AllocClient) Interval() time.Duration { return c.interval }
 
 // NumFlows returns the number of flowlets this client has registered.
-func (c *AllocClient) NumFlows() int { return len(c.src) }
+func (c *AllocClient) NumFlows() int { return len(c.regs) }
 
 // FlowletStart buffers a flowlet-start notification. Registering an
 // already-registered flow is a no-op, mirroring the engine's defensive
 // duplicate handling.
 func (c *AllocClient) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
-	if _, dup := c.src[id]; dup {
+	if _, dup := c.regs[id]; dup {
 		return nil
 	}
-	c.src[id] = src
+	c.regs[id] = flowReg{src: int32(src), dst: int32(dst), weight: weight}
 	c.wbuf = wire.AppendFlowletAdd(c.wbuf, wire.FlowletAdd{
 		Flow:   int64(id),
 		Src:    int32(src),
@@ -130,10 +193,10 @@ func (c *AllocClient) FlowletStart(id core.FlowID, src, dst int, weight float64)
 
 // FlowletEnd buffers a flowlet-end notification. Unknown flows are ignored.
 func (c *AllocClient) FlowletEnd(id core.FlowID) error {
-	if _, ok := c.src[id]; !ok {
+	if _, ok := c.regs[id]; !ok {
 		return nil
 	}
-	delete(c.src, id)
+	delete(c.regs, id)
 	c.wbuf = wire.AppendFlowletEnd(c.wbuf, wire.FlowletEnd{Flow: int64(id)})
 	return nil
 }
@@ -215,13 +278,13 @@ func (c *AllocClient) readBatch() (wire.RateBatch, error) {
 func (c *AllocClient) appendBatch(b wire.RateBatch) {
 	for i := 0; i < b.Len(); i++ {
 		e := b.Entry(i)
-		src, ok := c.src[core.FlowID(e.Flow)]
+		reg, ok := c.regs[core.FlowID(e.Flow)]
 		if !ok {
 			continue
 		}
 		c.updates = append(c.updates, core.RateUpdate{
 			Flow: core.FlowID(e.Flow),
-			Src:  src,
+			Src:  int(reg.src),
 			Rate: e.Rate,
 		})
 	}
