@@ -8,6 +8,13 @@
 // test harnesses use). -blocks switches the engine from the sequential NED
 // allocator to the FlowBlock/LinkBlock multicore allocator. Loop latency
 // percentiles and update counters are logged every -stats-every.
+//
+// A cluster of daemons shares the fabric with -shard i/N: each daemon owns
+// shard i of an N-way rack partition, accepts only flowlets sourced in its
+// racks, and exchanges boundary prices with the peer daemons listed in
+// -peers (dialed with retry, so start order does not matter). Per-session
+// hardening is configured with -max-session-flows, -max-frame-rate and
+// -idle-timeout.
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +55,11 @@ func run(args []string, out io.Writer) error {
 	threshold := fs.Float64("threshold", 0.01, "rate-update notification threshold")
 	interval := fs.Duration("interval", time.Millisecond, "allocation interval (0 = step-driven only)")
 	blocks := fs.Int("blocks", 0, "rack blocks for the multicore engine (0 = sequential)")
+	shard := fs.String("shard", "", "shard assignment i/N: own shard i of an N-way rack partition (empty = unsharded)")
+	peers := fs.String("peers", "", "comma-separated addresses of the peer shard daemons, dialed with retry")
+	maxSessionFlows := fs.Int("max-session-flows", 0, "max live flowlets per session (0 = unlimited)")
+	maxFrameRate := fs.Float64("max-frame-rate", 0, "max frames/s per session before disconnect (0 = unlimited)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "disconnect sessions idle this long (0 = never)")
 	epoch := fs.Uint64("epoch", 1, "allocator epoch announced to clients")
 	statsEvery := fs.Duration("stats-every", 10*time.Second, "loop-stats logging period (0 disables)")
 	serveFor := fs.Duration("serve-for", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
@@ -63,6 +77,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	shardIndex, numShards, err := parseShard(*shard)
+	if err != nil {
+		return err
+	}
+	if *peers != "" && numShards == 0 {
+		return fmt.Errorf("flowtuned: -peers requires -shard")
+	}
 	cfg := server.Config{
 		Topology:        topo,
 		Gamma:           *gamma,
@@ -70,6 +91,11 @@ func run(args []string, out io.Writer) error {
 		Interval:        *interval,
 		Blocks:          *blocks,
 		Epoch:           *epoch,
+		MaxSessionFlows: *maxSessionFlows,
+		MaxFrameRate:    *maxFrameRate,
+		IdleTimeout:     *idleTimeout,
+		ShardIndex:      shardIndex,
+		NumShards:       numShards,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(out, "flowtuned: "+format+"\n", args...) }
@@ -84,11 +110,23 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "flowtuned: listening on %s (%d servers, interval %v, engine %s, epoch %d)\n",
-		ln.Addr(), topo.NumServers(), *interval, engineName(*blocks), *epoch)
+	fmt.Fprintf(out, "flowtuned: listening on %s (%d servers, interval %v, engine %s, epoch %d%s)\n",
+		ln.Addr(), topo.NumServers(), *interval, engineName(*blocks), *epoch, shardName(shardIndex, numShards))
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	if *peers != "" {
+		for _, addr := range strings.Split(*peers, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			go maintainPeer(srv, addr, out, stop)
+		}
+	}
 
 	var statsC <-chan time.Time
 	if *statsEvery > 0 {
@@ -129,6 +167,83 @@ func engineName(blocks int) string {
 		return fmt.Sprintf("parallel(%d blocks)", blocks)
 	}
 	return "sequential"
+}
+
+// shardName labels the shard assignment for the startup line.
+func shardName(index, shards int) string {
+	if shards == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", shard %d/%d", index, shards)
+}
+
+// parseShard parses an "i/N" shard assignment; the empty string means
+// unsharded. Range validation beyond i < N is the server's job.
+func parseShard(s string) (index, shards int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("flowtuned: -shard must be i/N, got %q", s)
+	}
+	index, err = strconv.Atoi(strings.TrimSpace(i))
+	if err != nil {
+		return 0, 0, fmt.Errorf("flowtuned: -shard index: %w", err)
+	}
+	shards, err = strconv.Atoi(strings.TrimSpace(n))
+	if err != nil {
+		return 0, 0, fmt.Errorf("flowtuned: -shard count: %w", err)
+	}
+	if shards <= 0 || index < 0 || index >= shards {
+		return 0, 0, fmt.Errorf("flowtuned: -shard %q out of range", s)
+	}
+	return index, shards, nil
+}
+
+// maintainPeer keeps one peer connection alive for the daemon's lifetime:
+// it dials until the handshake succeeds (so cluster start order does not
+// matter), then watches for the connection being dropped — a peer restart,
+// a network failure, or an exchange timeout — and redials. Failures are
+// surfaced whenever their cause changes: a handshake *rejection*
+// (mismatched -shard count, protocol version) is a permanent
+// misconfiguration the operator must see, not a transient dial error to
+// retry silently.
+func maintainPeer(srv *server.Server, addr string, out io.Writer, stop <-chan struct{}) {
+	lastErr := ""
+	wait := func() bool {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(500 * time.Millisecond):
+			return true
+		}
+	}
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		var shard int
+		if err == nil {
+			shard, err = srv.ConnectPeer(conn)
+		}
+		if err != nil {
+			if msg := err.Error(); msg != lastErr {
+				lastErr = msg
+				fmt.Fprintf(out, "flowtuned: peer %s: %v (retrying)\n", addr, err)
+			}
+			if !wait() {
+				return
+			}
+			continue
+		}
+		lastErr = ""
+		fmt.Fprintf(out, "flowtuned: peer %s connected\n", addr)
+		for srv.HasPeer(shard) {
+			if !wait() {
+				return
+			}
+		}
+		fmt.Fprintf(out, "flowtuned: peer %s dropped, redialing\n", addr)
+	}
 }
 
 // logStats prints one loop-stats line.

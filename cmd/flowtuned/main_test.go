@@ -98,4 +98,111 @@ func TestDaemonFlagErrors(t *testing.T) {
 	if err := run([]string{"-blocks", "3", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
 		t.Error("non-power-of-two block count accepted")
 	}
+	for _, bad := range []string{"2", "a/2", "1/x", "3/3", "-1/2", "0/0"} {
+		if err := run([]string{"-shard", bad, "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
+			t.Errorf("-shard %q accepted", bad)
+		}
+	}
+	if err := run([]string{"-peers", "127.0.0.1:1", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("-peers without -shard accepted")
+	}
+	// 2 shards do not divide the default 9 racks.
+	if err := run([]string{"-shard", "0/2", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("2 shards over 9 racks accepted")
+	}
+	// Sharded mode requires the sequential engine for now.
+	if err := run([]string{"-shard", "0/3", "-blocks", "2", "-racks", "8",
+		"-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("sharded parallel engine accepted")
+	}
+}
+
+// startShardDaemon boots one cluster member on a free port and returns its
+// address and exit channel.
+func startShardDaemon(t *testing.T, out *syncBuffer, args ...string) (addr string, done chan error) {
+	t.Helper()
+	done = make(chan error, 1)
+	go func() { done <- run(args, out) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; output: %q", out.String())
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return addr, done
+}
+
+// TestShardedClusterOverTCP boots a 2-shard cluster as two real daemon
+// processes-worth of run() over TCP, lets the peer dial-with-retry converge
+// (shard 1 starts knowing shard 0's address only), and drives a cross-shard
+// flow through a client on each shard.
+func TestShardedClusterOverTCP(t *testing.T) {
+	common := []string{
+		"-racks", "4", "-servers-per-rack", "4", "-spines", "2",
+		"-interval", "200us", "-serve-for", "5s", "-stats-every", "0",
+	}
+	var out0, out1 syncBuffer
+	addr0, done0 := startShardDaemon(t, &out0, append([]string{
+		"-listen", "127.0.0.1:0", "-shard", "0/2"}, common...)...)
+	addr1, done1 := startShardDaemon(t, &out1, append([]string{
+		"-listen", "127.0.0.1:0", "-shard", "1/2", "-peers", addr0}, common...)...)
+
+	// Only shard 1 dials (shard 0's port was unknown when shard 0 started),
+	// which still exercises the dial-with-retry path and the 1→0 exchange
+	// direction; full meshes list every peer in each daemon's -peers.
+	cli0, err := transport.DialAlloc(addr0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli0.Close()
+	cli1, err := transport.DialAlloc(addr1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli1.Close()
+
+	// Cross-shard flow owned by shard 0 (server 0 → server 12) and a local
+	// flow on shard 1; both free-running daemons must allocate.
+	if err := cli0.FlowletStart(1, 0, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli1.FlowletStart(2, 12, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ups0, _, err := cli0.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups0) != 1 || ups0[0].Flow != 1 || ups0[0].Rate <= 0 {
+		t.Fatalf("shard 0 updates = %+v", ups0)
+	}
+	ups1, _, err := cli1.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups1) != 1 || ups1[0].Flow != 2 || ups1[0].Rate <= 0 {
+		t.Fatalf("shard 1 updates = %+v", ups1)
+	}
+	if !strings.Contains(out1.String(), "peer "+addr0+" connected") {
+		t.Fatalf("shard 1 never connected its peer; output: %q", out1.String())
+	}
+
+	cli0.Close()
+	cli1.Close()
+	if err := <-done0; err != nil {
+		t.Fatalf("shard 0: %v; output %q", err, out0.String())
+	}
+	if err := <-done1; err != nil {
+		t.Fatalf("shard 1: %v; output %q", err, out1.String())
+	}
 }

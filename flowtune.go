@@ -44,6 +44,7 @@ package flowtune
 import (
 	"net"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -178,6 +179,57 @@ type AllocatorBackend = transport.AllocatorBackend
 // LoopStats summarizes allocator control-loop latency and throughput (see
 // Daemon.LoopStats).
 type LoopStats = metrics.LoopStats
+
+// ErrEpochChanged reports that a daemon announced a new allocator epoch
+// mid-session (an operator BumpEpoch or failover); the client should
+// Reconnect, which re-registers its live flowlets.
+var ErrEpochChanged = transport.ErrEpochChanged
+
+// ---------------------------------------------------------------------------
+// Sharded cluster
+
+// ShardMap partitions a two-tier fabric across a cluster of allocator
+// daemons: each shard owns a rack block (its servers plus every link
+// anchored at its racks), flowlets belong to their source server's shard,
+// and downward links form the boundary whose prices the cluster exchanges.
+type ShardMap = topology.ShardMap
+
+// NewShardMap splits a fabric's racks into shards equal groups.
+func NewShardMap(t *Topology, shards int) (*ShardMap, error) {
+	return topology.NewShardMap(t, shards)
+}
+
+// Cluster runs N flowtuned daemons as a cooperating sharded allocator in
+// one process, with the peer mesh wired over in-memory pipes — the harness
+// behind the sharded scenarios. Production clusters run the same daemons as
+// separate flowtuned processes (see cmd/flowtuned's -shard and -peers).
+type Cluster = cluster.Cluster
+
+// ClusterConfig configures a Cluster.
+type ClusterConfig = cluster.Config
+
+// NewCluster builds the daemons and connects the full peer mesh.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ShardedClient is the endpoint side of a sharded cluster: one daemon
+// session per shard behind the AllocatorBackend interface, hashing each
+// flowlet to its owning shard and merging rate updates, with per-shard
+// Reconnect.
+type ShardedClient = transport.ShardedClient
+
+// ShardError wraps an error from one shard's session with its shard index.
+type ShardError = transport.ShardError
+
+// NewShardedClient wraps one established connection per shard.
+func NewShardedClient(conns []net.Conn, smap *ShardMap, clientID uint64) (*ShardedClient, error) {
+	return transport.NewShardedClient(conns, smap, clientID)
+}
+
+// DialShardedCluster connects to a flowtuned cluster over TCP, one address
+// per shard in shard order.
+func DialShardedCluster(addrs []string, smap *ShardMap, clientID uint64) (*ShardedClient, error) {
+	return transport.DialShardedCluster(addrs, smap, clientID)
+}
 
 // ---------------------------------------------------------------------------
 // Optimization machinery

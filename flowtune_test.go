@@ -229,3 +229,56 @@ func TestPublicDaemon(t *testing.T) {
 
 // The DaemonClient must satisfy the simulation engine's backend seam.
 var _ flowtune.AllocatorBackend = (*flowtune.DaemonClient)(nil)
+
+// TestPublicShardedCluster drives the sharded-cluster surface through the
+// facade: shard map, in-process cluster, sharded client, fair shares on a
+// cross-shard bottleneck.
+func TestPublicShardedCluster(t *testing.T) {
+	topo, err := flowtune.NewTopology(flowtune.TopologyConfig{
+		Racks: 4, ServersPerRack: 4, Spines: 2, LinkCapacity: 10e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smap, err := flowtune.NewShardMap(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smap.NumShards() != 2 || smap.ShardOfFlow(0, 15) != 0 {
+		t.Fatalf("shard map wiring: shards=%d owner=%d", smap.NumShards(), smap.ShardOfFlow(0, 15))
+	}
+	cl, err := flowtune.NewCluster(flowtune.ClusterConfig{Topology: topo, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cli, err := cl.Client(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Two flows into server 12: one cross-shard (owned by shard 0), one
+	// local to shard 1. The boundary exchange must split the downlink.
+	if err := cli.FlowletStart(1, 0, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.FlowletStart(2, 13, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := cli.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rates := cl.Rates()
+	want := topo.Config().LinkCapacity * 0.99 / 2
+	for _, id := range []int64{1, 2} {
+		if got := rates[id]; math.Abs(got-want)/want > 0.05 {
+			t.Errorf("flow %d rate %.4g, want ≈ %.4g (fair share of the shared downlink)", id, got, want)
+		}
+	}
+}
+
+// The ShardedClient must satisfy the simulation engine's backend seam too.
+var _ flowtune.AllocatorBackend = (*flowtune.ShardedClient)(nil)

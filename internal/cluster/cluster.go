@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Config configures an in-process allocator cluster.
+type Config struct {
+	// Topology is the fabric the cluster schedules. Required; it must be a
+	// two-tier fabric whose rack count Shards divides.
+	Topology *topology.Topology
+	// Shards is the number of flowtuned daemons; each owns one rack block.
+	Shards int
+	// Gamma, UpdateThreshold, Interval and Epoch are passed through to
+	// every daemon (see server.Config).
+	Gamma           float64
+	UpdateThreshold float64
+	Interval        time.Duration
+	Epoch           uint64
+	// MaxSessionFlows, MaxFrameRate and IdleTimeout pass the per-session
+	// hardening limits through to every daemon.
+	MaxSessionFlows int
+	MaxFrameRate    float64
+	IdleTimeout     time.Duration
+	// Logf, when set, receives every daemon's log lines prefixed with its
+	// shard index.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a cooperating set of sharded flowtuned daemons hosted in one
+// process, their peer mesh wired over in-memory pipes. It is the harness the
+// sharded scenarios and tests run on; production clusters run the same
+// daemons as separate flowtuned processes connected over TCP (see
+// cmd/flowtuned's -shard and -peers flags).
+type Cluster struct {
+	smap    *topology.ShardMap
+	servers []*server.Server
+}
+
+// New builds the daemons and connects the full peer mesh. Every daemon dials
+// every other, so each direction of every shard pair has a dedicated push
+// connection, exactly as in a TCP deployment.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("cluster: Config.Topology is required")
+	}
+	smap, err := topology.NewShardMap(cfg.Topology, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{smap: smap}
+	for i := 0; i < cfg.Shards; i++ {
+		logf := cfg.Logf
+		if logf != nil {
+			shard := i
+			inner := cfg.Logf
+			logf = func(format string, args ...any) {
+				inner("shard %d: "+format, append([]any{shard}, args...)...)
+			}
+		}
+		srv, err := server.New(server.Config{
+			Topology:        cfg.Topology,
+			Gamma:           cfg.Gamma,
+			UpdateThreshold: cfg.UpdateThreshold,
+			Interval:        cfg.Interval,
+			Epoch:           cfg.Epoch,
+			MaxSessionFlows: cfg.MaxSessionFlows,
+			MaxFrameRate:    cfg.MaxFrameRate,
+			IdleTimeout:     cfg.IdleTimeout,
+			NumShards:       cfg.Shards,
+			ShardIndex:      i,
+			Logf:            logf,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.servers = append(c.servers, srv)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		for j := 0; j < cfg.Shards; j++ {
+			if i == j {
+				continue
+			}
+			out, in := net.Pipe()
+			go c.servers[j].ServeConn(in)
+			if _, err := c.servers[i].ConnectPeer(out); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: peer %d→%d: %w", i, j, err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Map returns the cluster's shard map.
+func (c *Cluster) Map() *topology.ShardMap { return c.smap }
+
+// NumShards returns the number of daemons.
+func (c *Cluster) NumShards() int { return len(c.servers) }
+
+// Server returns shard i's daemon.
+func (c *Cluster) Server(i int) *server.Server { return c.servers[i] }
+
+// Client connects a ShardedClient to every daemon over in-memory pipes and
+// performs the handshakes.
+func (c *Cluster) Client(clientID uint64) (*transport.ShardedClient, error) {
+	conns := make([]net.Conn, len(c.servers))
+	for i, srv := range c.servers {
+		clientEnd, serverEnd := net.Pipe()
+		go srv.ServeConn(serverEnd)
+		conns[i] = clientEnd
+	}
+	return transport.NewShardedClient(conns, c.smap, clientID)
+}
+
+// Rates merges every shard's current rate map (a diagnostic mirror of
+// server.Server.Rates; flow ownership makes the maps disjoint).
+func (c *Cluster) Rates() map[int64]float64 {
+	out := make(map[int64]float64)
+	for _, srv := range c.servers {
+		for id, rate := range srv.Rates() {
+			out[int64(id)] = rate
+		}
+	}
+	return out
+}
+
+// Close shuts every daemon down.
+func (c *Cluster) Close() error {
+	var first error
+	for _, srv := range c.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

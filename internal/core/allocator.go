@@ -123,6 +123,9 @@ type TrafficStats struct {
 type Allocator struct {
 	cfg  Config
 	topo *topology.Topology
+	// routes memoizes path computation so repeated flowlet starts between
+	// the same endpoints (with the same ECMP hash class) never re-route.
+	routes *topology.RouteCache
 
 	problem   num.Problem
 	state     *num.State
@@ -157,6 +160,7 @@ func NewAllocator(cfg Config) (*Allocator, error) {
 	a := &Allocator{
 		cfg:                 cfg,
 		topo:                topo,
+		routes:              topology.NewRouteCache(topo),
 		indexByID:           make(map[FlowID]int),
 		effectiveCapacities: eff,
 	}
@@ -193,7 +197,7 @@ func (a *Allocator) FlowletStart(id FlowID, src, dst int, weight float64) error 
 	}
 	// Path selection mirrors ECMP: hash the flow ID over the spines so the
 	// allocator and the network agree on paths (§7).
-	route, err := a.topo.Route(src, dst, int(id))
+	route, err := a.routes.Route(src, dst, int(id))
 	if err != nil {
 		return fmt.Errorf("core: flowlet %d: %w", id, err)
 	}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// boundaryTopo is a 2-rack fabric small enough to reason about link
+// ownership by hand.
+func boundaryTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks: 2, ServersPerRack: 2, Spines: 1, LinkCapacity: 10e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestBoundaryDigestMatchesLoads checks the exported digest equals the loads
+// of the rates the last Iterate produced, and is all zeros while idle.
+func TestBoundaryDigestMatchesLoads(t *testing.T) {
+	topo := boundaryTopo(t)
+	a, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]topology.LinkID, topo.NumLinks())
+	for i := range links {
+		links[i] = topology.LinkID(i)
+	}
+	loads := make([]float64, len(links))
+	hdiag := make([]float64, len(links))
+
+	// Idle allocator: digest is all zeros even before any Iterate.
+	if err := a.BoundaryDigest(links, loads, hdiag); err != nil {
+		t.Fatal(err)
+	}
+	for i := range loads {
+		if loads[i] != 0 || hdiag[i] != 0 {
+			t.Fatalf("idle digest not zero at link %d: %g/%g", i, loads[i], hdiag[i])
+		}
+	}
+
+	if err := a.FlowletStart(1, 0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.Iterate()
+	if err := a.BoundaryDigest(links, loads, hdiag); err != nil {
+		t.Fatal(err)
+	}
+	route, err := topo.Route(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onPath := make(map[topology.LinkID]bool)
+	for _, l := range route {
+		onPath[l] = true
+	}
+	raw := a.RawRates()[1]
+	if raw <= 0 {
+		t.Fatalf("raw rate = %g", raw)
+	}
+	for i, l := range links {
+		if onPath[l] {
+			if loads[i] != raw {
+				t.Fatalf("link %d load %g, want %g", l, loads[i], raw)
+			}
+			if hdiag[i] >= 0 {
+				t.Fatalf("link %d hdiag %g, want negative", l, hdiag[i])
+			}
+		} else if loads[i] != 0 {
+			t.Fatalf("off-path link %d load %g, want 0", l, loads[i])
+		}
+	}
+
+	// Retiring the flow empties the digest again.
+	if err := a.FlowletEnd(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BoundaryDigest(links, loads, hdiag); err != nil {
+		t.Fatal(err)
+	}
+	for i := range loads {
+		if loads[i] != 0 {
+			t.Fatalf("post-retire digest not zero at link %d", i)
+		}
+	}
+}
+
+// TestExternalLoadsThrottleSharedLink verifies imported remote demand raises
+// a link's price and lowers the local flow's allocation, and that clearing
+// it restores headroom.
+func TestExternalLoadsThrottleSharedLink(t *testing.T) {
+	topo := boundaryTopo(t)
+	alone, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*Allocator{alone, shared} {
+		if err := a.FlowletStart(1, 0, 3, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	route, err := topo.Route(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A remote flow congesting the last (downward) link of the path at full
+	// line rate, with a realistic sensitivity.
+	ext := []topology.LinkID{route[len(route)-1]}
+	w := topo.Config().LinkCapacity
+	for i := 0; i < 200; i++ {
+		shared.SetExternalLoads(ext, []float64{10e9}, []float64{-w / 4})
+		alone.Iterate()
+		shared.Iterate()
+	}
+	ra, rs := alone.Rate(1), shared.Rate(1)
+	if rs >= ra/1.5 {
+		t.Fatalf("external congestion barely throttled the flow: alone %g, shared %g", ra, rs)
+	}
+	// Clearing external demand recovers the allocation.
+	shared.SetExternalLoads(ext, []float64{0}, []float64{0})
+	for i := 0; i < 300; i++ {
+		shared.Iterate()
+	}
+	if got := shared.Rate(1); got < 0.9*ra {
+		t.Fatalf("after clearing external load rate = %g, want ≈ %g", got, ra)
+	}
+}
+
+// TestPinPricesAppliesImmediately verifies an imported price takes effect on
+// the very next iteration and survives local price updates.
+func TestPinPricesAppliesImmediately(t *testing.T) {
+	topo := boundaryTopo(t)
+	a, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FlowletStart(1, 0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	route, err := topo.Route(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := route[len(route)-1]
+	a.PinPrices([]topology.LinkID{down}, []float64{40})
+	a.Iterate()
+	prices := make([]float64, 1)
+	a.LinkPrices([]topology.LinkID{down}, prices)
+	if prices[0] != 40 {
+		t.Fatalf("pinned price after Iterate = %g, want 40", prices[0])
+	}
+	// A pinned path price of ≥ 40 caps the raw rate near w/40.
+	w := topo.Config().LinkCapacity
+	if raw := a.RawRates()[1]; raw > w/40 {
+		t.Fatalf("raw rate %g exceeds w/pinned-price %g", raw, w/40)
+	}
+}

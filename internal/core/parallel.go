@@ -226,6 +226,10 @@ type ParallelAllocator struct {
 	cfg  ParallelConfig
 	topo *topology.Topology
 	part *topology.BlockPartition
+	// routes memoizes path computation; with a warm cache FlowletStart is
+	// allocation-free, which BenchmarkParallelChurn and
+	// TestParallelChurnAllocFree pin.
+	routes *topology.RouteCache
 
 	numBlocks int
 	gamma     float64
@@ -282,6 +286,7 @@ func NewParallelAllocator(cfg ParallelConfig) (*ParallelAllocator, error) {
 		cfg:       cfg,
 		topo:      cfg.Topology,
 		part:      part,
+		routes:    topology.NewRouteCache(cfg.Topology),
 		numBlocks: cfg.Blocks,
 		gamma:     gamma,
 		maxRate:   cfg.Topology.Config().LinkCapacity,
@@ -373,7 +378,7 @@ func (p *ParallelAllocator) FlowletStart(id FlowID, src, dst int, weight float64
 // addFlow routes and appends one flow (shared by FlowletStart and SetFlows;
 // the caller has already rejected duplicates).
 func (p *ParallelAllocator) addFlow(f ParallelFlow) error {
-	route, err := p.topo.Route(f.Src, f.Dst, int(f.ID))
+	route, err := p.routes.Route(f.Src, f.Dst, int(f.ID))
 	if err != nil {
 		return fmt.Errorf("core: flow %d: %w", f.ID, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/topology"
@@ -75,6 +76,14 @@ type ScenarioConfig struct {
 	// deterministic: the simulator drives the daemon in step mode, and a
 	// daemon-backed scenario produces the same rates as an in-process one.
 	Daemon bool
+	// Shards, when > 1, replaces the single daemon with a sharded cluster
+	// of that many step-driven flowtuned daemons (internal/cluster): the
+	// trace's flowlets are hashed to their owning shards by a
+	// transport.ShardedClient and cross-shard paths converge through the
+	// boundary-price exchange. Requires Daemon, and Shards must divide the
+	// fabric's rack count. Runs stay deterministic: shards are stepped in
+	// order and every exchange push is delivery-acknowledged.
+	Shards int
 }
 
 // withDefaults fills unset scenario fields.
@@ -186,28 +195,49 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		Topology: topo,
 		Horizon:  horizon,
 	}
+	if cfg.Shards > 1 && !cfg.Daemon {
+		return nil, fmt.Errorf("experiments: scenario %s: Shards requires Daemon mode", cfg.Name)
+	}
 	if cfg.Daemon {
 		if cfg.Scheme != transport.Flowtune {
 			return nil, fmt.Errorf("experiments: scenario %s: Daemon requires the Flowtune scheme, got %s", cfg.Name, cfg.Scheme)
 		}
-		// Host the allocator in a step-driven flowtuned daemon reached
-		// over an in-memory pipe: flowlet notifications and rate updates
-		// cross the wire protocol, and each simulated allocator tick
-		// becomes one synchronous daemon Step.
-		srv, err := server.New(server.Config{Topology: topo})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+		if cfg.Shards > 1 {
+			// Host the allocator in a sharded cluster of step-driven
+			// daemons: the trace's flowlets are hashed to their owning
+			// shards, rate updates are merged back, and boundary prices
+			// are exchanged between the daemons at every tick.
+			cl, err := cluster.New(cluster.Config{Topology: topo, Shards: cfg.Shards})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+			}
+			defer cl.Close()
+			cli, err := cl.Client(uint64(cfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+			}
+			defer cli.Close()
+			engCfg.ExternalAllocator = cli
+		} else {
+			// Host the allocator in a step-driven flowtuned daemon reached
+			// over an in-memory pipe: flowlet notifications and rate updates
+			// cross the wire protocol, and each simulated allocator tick
+			// becomes one synchronous daemon Step.
+			srv, err := server.New(server.Config{Topology: topo})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+			}
+			defer srv.Close()
+			clientEnd, serverEnd := net.Pipe()
+			go srv.ServeConn(serverEnd)
+			cli, err := transport.NewAllocClient(clientEnd, uint64(cfg.Seed))
+			if err != nil {
+				srv.Close()
+				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+			}
+			defer cli.Close()
+			engCfg.ExternalAllocator = cli
 		}
-		defer srv.Close()
-		clientEnd, serverEnd := net.Pipe()
-		go srv.ServeConn(serverEnd)
-		cli, err := transport.NewAllocClient(clientEnd, uint64(cfg.Seed))
-		if err != nil {
-			srv.Close()
-			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
-		}
-		defer cli.Close()
-		engCfg.ExternalAllocator = cli
 	}
 	eng, err := transport.NewEngine(engCfg)
 	if err != nil {
@@ -439,6 +469,21 @@ var namedScenarios = map[string]scenarioSpec{
 			cfg := incastScenario(short)
 			cfg.Name = "daemon-incast"
 			cfg.Daemon = true
+			return cfg
+		},
+	},
+	"sharded-incast": {
+		about: "the incast scenario on a sharded flowtuned cluster with boundary-price exchange",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "sharded-incast"
+			cfg.Daemon = true
+			// Shards must divide the rack count: thirds of the paper's
+			// 9-rack fabric, halves of the 4-rack short fabric.
+			cfg.Shards = 3
+			if short {
+				cfg.Shards = 2
+			}
 			return cfg
 		},
 	},

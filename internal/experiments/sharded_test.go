@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestShardedScenarioRunsEndToEnd is the acceptance check for the sharded
+// cluster scenario: trace → ShardedClient → N daemons → price exchange →
+// simulator, with ≥ 2 shards and real traffic measured.
+func TestShardedScenarioRunsEndToEnd(t *testing.T) {
+	cfg, err := NamedScenario("sharded-incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Daemon || cfg.Shards < 2 {
+		t.Fatalf("scenario wiring: Daemon=%v Shards=%d, want daemon-backed with ≥2 shards", cfg.Daemon, cfg.Shards)
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows == 0 || res.FinishedFlows == 0 {
+		t.Fatalf("sharded scenario measured no flows: %+v", res)
+	}
+	if res.GoodputBps <= 0 {
+		t.Fatalf("sharded scenario delivered nothing: %+v", res)
+	}
+}
+
+// TestShardedScenarioDeterministic re-runs the sharded scenario and requires
+// byte-identical JSON — the property its committed BENCH_ baseline and the
+// CI diff depend on. Shard stepping order and the ack-fenced exchange are
+// what make this hold.
+func TestShardedScenarioDeterministic(t *testing.T) {
+	cfg, err := NamedScenario("sharded-incast", true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("two identical sharded runs diverged:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestShardsRequireDaemonMode pins the configuration coupling.
+func TestShardsRequireDaemonMode(t *testing.T) {
+	cfg, err := NamedScenario("sharded-incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Daemon = false
+	if _, err := RunScenario(cfg); err == nil {
+		t.Fatal("RunScenario accepted Shards without Daemon")
+	}
+	// Shards must divide the rack count.
+	cfg, _ = NamedScenario("sharded-incast", true, 1)
+	cfg.Shards = 3 // 4-rack short fabric
+	if _, err := RunScenario(cfg); err == nil {
+		t.Fatal("RunScenario accepted 3 shards over 4 racks")
+	}
+}

@@ -21,9 +21,17 @@ func ensureOut(out []float64, n int) []float64 {
 	return out[:n]
 }
 
-// linkRatios computes r_l = (Σ_{s∈S(l)} x_s) / c_l for every link.
+// linkRatios computes r_l = (Σ_{s∈S(l)} x_s) / c_l for every link. External
+// loads (remote shards' flows, see num.Problem.ExternalLoads) count toward a
+// link's utilization: a boundary link crowded by remote traffic must slow
+// the local flows that traverse it just as local congestion would.
 func linkRatios(p *num.Problem, rates []float64, loads []float64) []float64 {
 	loads = num.LinkLoads(p, rates, loads)
+	if p.ExternalLoads != nil {
+		for l := range loads {
+			loads[l] += p.ExternalLoads[l]
+		}
+	}
 	for l := range loads {
 		loads[l] /= p.Capacities[l]
 	}

@@ -46,6 +46,25 @@ type Problem struct {
 	// absorb.
 	MaxFlowRate float64
 
+	// ExternalLoads and ExternalHdiag, when non-nil, carry per-link load
+	// and Hessian-diagonal contributions from flows that are not part of
+	// this problem — the remote shards of a sharded allocator cluster.
+	// Solvers add them to the locally accumulated values in the
+	// price-update step, and normalizers include ExternalLoads in link
+	// utilization ratios, so boundary links are priced and normalized
+	// against cluster-wide demand instead of just the local flow set. Both
+	// must have length len(Capacities) when set.
+	ExternalLoads []float64
+	ExternalHdiag []float64
+
+	// PinnedPrices, when non-nil, overrides the locally computed price of
+	// selected links after every price update: an entry >= 0 is an
+	// imported price (typically a remote owner's boundary-price snapshot)
+	// that replaces whatever the local update produced; a negative entry
+	// leaves the link's price under local control. It must have length
+	// len(Capacities) when set.
+	PinnedPrices []float64
+
 	// compiled caches the CSR index over Flows; version is the mutation
 	// counter used to detect staleness.
 	compiled *Compiled

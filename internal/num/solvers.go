@@ -160,6 +160,30 @@ func rateUpdateGeneric(c *Compiled, maxRate float64, st *State, loads, hdiag []f
 // optimum.
 const minPathPrice = 1e-12
 
+// applyPins overwrites pinned link prices after a price update (see
+// Problem.PinnedPrices): pinned links belong to a remote owner, so the local
+// update's result for them is discarded in favour of the imported price.
+func applyPins(p *Problem, st *State) {
+	if p.PinnedPrices == nil {
+		return
+	}
+	for l, pin := range p.PinnedPrices {
+		if pin >= 0 {
+			st.Prices[l] = pin
+		}
+	}
+}
+
+// LoadReporter is implemented by solvers that retain the per-link load and
+// Hessian-diagonal accumulations of their most recent Step. The returned
+// slices alias solver scratch: they are valid until the next Step and must
+// not be modified. hdiag is nil for solvers that do not compute the Hessian
+// diagonal. A sharded allocator uses this to export its local boundary-link
+// demand without recomputing it.
+type LoadReporter interface {
+	LastLoads() (loads, hdiag []float64)
+}
+
 // NED is the Newton-Exact-Diagonal solver (Algorithm 1): the price update is
 // scaled by the exactly computed Hessian diagonal,
 //
@@ -198,9 +222,16 @@ func (n *NED) Step(p *Problem, st *State) {
 		gamma = 1
 	}
 	rateUpdate(p, st, &n.sc, true, minPathPrice)
+	ext, extH := p.ExternalLoads, p.ExternalHdiag
 	for l := range st.Prices {
 		g := n.sc.loads[l] - p.Capacities[l]
 		h := n.sc.hdiag[l]
+		if ext != nil {
+			g += ext[l]
+		}
+		if extH != nil {
+			h += extH[l]
+		}
 		if h == 0 {
 			// No flows traverse the link: decay its price so the next
 			// flowlet to use it is not throttled by a stale price.
@@ -222,7 +253,12 @@ func (n *NED) Step(p *Problem, st *State) {
 		}
 		st.Prices[l] = price
 	}
+	applyPins(p, st)
 }
+
+// LastLoads implements LoadReporter: the loads and Hessian diagonals
+// accumulated by the most recent Step.
+func (n *NED) LastLoads() (loads, hdiag []float64) { return n.sc.loads, n.sc.hdiag }
 
 // Gradient is the gradient-projection solver (Low & Lapsley): prices move
 // proportionally to the link's relative over-allocation,
@@ -264,7 +300,11 @@ func (g *Gradient) Step(p *Problem, st *State) {
 	}
 	rateUpdate(p, st, &g.sc, false, minPathPrice)
 	for l := range st.Prices {
-		over := (g.sc.loads[l] - p.Capacities[l]) / p.Capacities[l]
+		load := g.sc.loads[l]
+		if p.ExternalLoads != nil {
+			load += p.ExternalLoads[l]
+		}
+		over := (load - p.Capacities[l]) / p.Capacities[l]
 		var delta float64
 		if g.RT {
 			delta = float64(float32(gamma) * float32(over))
@@ -277,7 +317,12 @@ func (g *Gradient) Step(p *Problem, st *State) {
 		}
 		st.Prices[l] = price
 	}
+	applyPins(p, st)
 }
+
+// LastLoads implements LoadReporter; hdiag is nil because the gradient
+// solver never computes the Hessian diagonal.
+func (g *Gradient) LastLoads() (loads, hdiag []float64) { return g.sc.loads, nil }
 
 // FGM is the Fast weighted Gradient Method (Beck et al. 2014): an accelerated
 // gradient method whose step is scaled by a crude upper bound on the utility
@@ -352,7 +397,11 @@ func (f *FGM) Step(p *Problem, st *State) {
 	f.tk = tNext
 
 	for l := range st.Prices {
-		over := f.sc.loads[l] - p.Capacities[l]
+		load := f.sc.loads[l]
+		if p.ExternalLoads != nil {
+			load += p.ExternalLoads[l]
+		}
+		over := load - p.Capacities[l]
 		grad := gamma * over / f.lip[l]
 		// Gradient step from the extrapolated point, then projection.
 		extrap := st.Prices[l] + momentum*(st.Prices[l]-f.prev[l])
@@ -363,6 +412,7 @@ func (f *FGM) Step(p *Problem, st *State) {
 		f.prev[l] = st.Prices[l]
 		st.Prices[l] = price
 	}
+	applyPins(p, st)
 }
 
 // NewtonLike is the measurement-based Newton-like method (Athuraliya & Low
@@ -420,6 +470,7 @@ func (n *NewtonLike) Step(p *Problem, st *State) {
 			}
 			st.Prices[l] = price
 		}
+		applyPins(p, st)
 		return
 	}
 
@@ -434,6 +485,9 @@ func (n *NewtonLike) Step(p *Problem, st *State) {
 		n.prevPrices[l] = st.Prices[l]
 
 		g := n.sc.loads[l] - p.Capacities[l]
+		if p.ExternalLoads != nil {
+			g += p.ExternalLoads[l]
+		}
 		est := n.estimate[l]
 		var price float64
 		if est < -1e-15 {
@@ -447,6 +501,7 @@ func (n *NewtonLike) Step(p *Problem, st *State) {
 		}
 		st.Prices[l] = price
 	}
+	applyPins(p, st)
 }
 
 // SolveOptions configures Solve.

@@ -1,0 +1,622 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// This file implements the daemon side of the sharded allocator cluster: a
+// flowtuned instance configured with NumShards > 0 owns one rack block of
+// the fabric (its servers plus all links anchored at its racks) and runs the
+// ordinary allocator over just its own flows. The only state it shares with
+// its peers is the boundary: downward links, which remote flows traverse.
+// After every iteration the daemon pushes, to each peer,
+//
+//   - a PriceDigest with its local load and Hessian-diagonal contributions
+//     on the links that peer owns (so the owner prices boundary links from
+//     cluster-wide demand), and
+//   - a PriceSnapshot of its own boundary-link prices (so peers rate their
+//     cross-shard flows against the owner's congestion signal).
+//
+// Inbound bundles are folded in at the next iteration boundary, exactly like
+// flowlet notifications. In step-driven runs a bundle stamped with iteration
+// k is folded at iteration k+1 regardless of shard stepping order, and every
+// push waits for the receiver's ExchangeAck, which together make cluster
+// runs deterministic; free-running daemons fold whatever has arrived.
+
+// exchanger is implemented by engines that support the boundary-price
+// exchange (the sequential core engine; the parallel engine keeps its prices
+// in per-block state and does not yet participate).
+type exchanger interface {
+	SetExternalLoads(links []topology.LinkID, loads, hdiag []float64)
+	PinPrices(links []topology.LinkID, prices []float64)
+	BoundaryDigest(links []topology.LinkID, loads, hdiag []float64) error
+	LinkPrices(links []topology.LinkID, prices []float64)
+}
+
+// exchangeMsg is one inbound peer frame waiting for the next iteration
+// boundary. For a digest, vals/hdiag are the load/sensitivity entries; for a
+// snapshot, vals holds prices and hdiag is nil.
+type exchangeMsg struct {
+	from     uint32
+	seq      uint64
+	snapshot bool
+	links    []int32
+	vals     []float64
+	hdiag    []float64
+}
+
+// peerConn is one outbound shard-to-shard connection; this daemon pushes its
+// exchange bundles on it and reads acks back. It is only touched under
+// shardState.sendMu after registration.
+type peerConn struct {
+	shard int
+	conn  net.Conn
+	sc    *wire.Scanner
+	buf   []byte
+	seq   uint64
+	// acks is the number of ExchangeAcks the pending bundle will produce
+	// (one per snapshot chunk; receivers ack each chunk).
+	acks int
+}
+
+// peerExchangeTimeout bounds one bundle push (write + acks): a peer that is
+// wedged — alive at the TCP level but not draining — must not stall the
+// shard's allocation loop, so past this deadline it is dropped like a dead
+// one and the shard keeps iterating on its last imported boundary state.
+const peerExchangeTimeout = 2 * time.Second
+
+// shardState is the sharded-cluster state of a daemon.
+type shardState struct {
+	smap     *topology.ShardMap
+	index    int
+	ex       exchanger
+	numLinks int
+
+	// boundary lists this shard's downward links; posOf maps a LinkID to
+	// its position in boundary (-1 otherwise).
+	boundary []topology.LinkID
+	posOf    []int32
+
+	// Latest digest from each peer, dense over boundary; extLoad/extHdiag
+	// are the sums handed to the engine after each fold.
+	peerLoad  map[uint32][]float64
+	peerHdiag map[uint32][]float64
+	extLoad   []float64
+	extHdiag  []float64
+
+	// sendMu serializes whole fold → iterate → push sequences so peers
+	// observe bundles in iteration order.
+	sendMu sync.Mutex
+
+	// pmu guards peers (outbound connections, keyed by shard).
+	pmu   sync.Mutex
+	peers map[int]*peerConn
+
+	// inMu guards pending, the inbound messages awaiting fold; drain is
+	// the swap buffer that keeps free-running folds allocation-free.
+	inMu    sync.Mutex
+	pending []exchangeMsg
+	drain   []exchangeMsg
+
+	// Reused build/fold scratch.
+	digestLoads, digestHdiag, snapPrices []float64
+	pinLinks                             []topology.LinkID
+	pinVals                              []float64
+}
+
+// newShardState validates the sharded configuration and prepares the
+// exchange state.
+func newShardState(cfg Config, eng engine) (*shardState, error) {
+	ex, ok := eng.(exchanger)
+	if !ok {
+		return nil, fmt.Errorf("server: sharded mode requires the sequential engine (Blocks = 0)")
+	}
+	if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.NumShards {
+		return nil, fmt.Errorf("server: ShardIndex %d out of range for %d shards", cfg.ShardIndex, cfg.NumShards)
+	}
+	smap, err := topology.NewShardMap(cfg.Topology, cfg.NumShards)
+	if err != nil {
+		return nil, err
+	}
+	st := &shardState{
+		smap:      smap,
+		index:     cfg.ShardIndex,
+		ex:        ex,
+		numLinks:  cfg.Topology.NumLinks(),
+		boundary:  smap.BoundaryLinks(cfg.ShardIndex),
+		posOf:     make([]int32, cfg.Topology.NumLinks()),
+		peerLoad:  make(map[uint32][]float64),
+		peerHdiag: make(map[uint32][]float64),
+		peers:     make(map[int]*peerConn),
+	}
+	for i := range st.posOf {
+		st.posOf[i] = -1
+	}
+	for i, l := range st.boundary {
+		st.posOf[l] = int32(i)
+	}
+	st.extLoad = make([]float64, len(st.boundary))
+	st.extHdiag = make([]float64, len(st.boundary))
+	st.snapPrices = make([]float64, len(st.boundary))
+	return st, nil
+}
+
+// ownsFlow reports whether a flowlet from src belongs to this shard.
+// Out-of-range servers pass through so the engine rejects them with its own
+// clearer error.
+func (st *shardState) ownsFlow(src, dst int) bool {
+	if src < 0 || src >= st.smap.Topology().NumServers() {
+		return true
+	}
+	return st.smap.ShardOfFlow(src, dst) == st.index
+}
+
+// peerContrib returns (allocating on first use) the dense contribution
+// arrays of one peer.
+func (st *shardState) peerContrib(from uint32) (loads, hdiag []float64) {
+	loads, ok := st.peerLoad[from]
+	if !ok {
+		loads = make([]float64, len(st.boundary))
+		hdiag = make([]float64, len(st.boundary))
+		st.peerLoad[from] = loads
+		st.peerHdiag[from] = hdiag
+		return loads, hdiag
+	}
+	return loads, st.peerHdiag[from]
+}
+
+// closePeers tears down every outbound peer connection.
+func (st *shardState) closePeers() {
+	st.pmu.Lock()
+	defer st.pmu.Unlock()
+	for _, pc := range st.peers {
+		pc.conn.Close()
+	}
+	clear(st.peers)
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: dialing peers and pushing bundles.
+
+// ConnectPeer attaches an outbound shard-to-shard connection: it performs
+// the symmetric PeerHello handshake over conn and, on success, pushes this
+// daemon's exchange bundle to that peer after every iteration, returning the
+// peer's shard index (so dialers can monitor it with HasPeer and redial).
+// The caller supplies the transport (TCP for real clusters, a net.Pipe end
+// for in-process ones); serving the *inbound* direction is the remote
+// daemon's job (its ServeConn recognizes the PeerHello). Reconnecting an
+// already connected shard replaces the previous connection.
+func (s *Server) ConnectPeer(conn net.Conn) (int, error) {
+	if s.shard == nil {
+		conn.Close()
+		return -1, fmt.Errorf("server: ConnectPeer on an unsharded daemon")
+	}
+	if s.isClosed() {
+		conn.Close()
+		return -1, net.ErrClosed
+	}
+	hello := wire.AppendPeerHello(nil, wire.PeerHello{
+		Version:   wire.Version,
+		Shard:     uint32(s.cfg.ShardIndex),
+		NumShards: uint32(s.cfg.NumShards),
+		Epoch:     s.Epoch(),
+	})
+	// Bound the whole handshake: a peer that accepts TCP but never replies
+	// (wrong service, frozen daemon) must fail the dial attempt, not wedge
+	// the dial-with-retry loop forever.
+	if err := conn.SetDeadline(time.Now().Add(peerExchangeTimeout)); err != nil {
+		conn.Close()
+		return -1, fmt.Errorf("server: peer handshake: %w", err)
+	}
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return -1, fmt.Errorf("server: peer handshake: %w", err)
+	}
+	sc := wire.NewScanner(conn)
+	typ, payload, err := sc.Next()
+	if err != nil {
+		conn.Close()
+		return -1, fmt.Errorf("server: peer handshake: %w", err)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return -1, fmt.Errorf("server: peer handshake: %w", err)
+	}
+	if typ != wire.TypePeerHello {
+		conn.Close()
+		return -1, fmt.Errorf("server: peer handshake: expected peer-hello, got %s", typ)
+	}
+	reply, err := wire.DecodePeerHello(payload)
+	if err != nil {
+		conn.Close()
+		return -1, fmt.Errorf("server: peer handshake: %w", err)
+	}
+	if err := s.shard.validatePeer(reply); err != nil {
+		conn.Close()
+		return -1, err
+	}
+	pc := &peerConn{shard: int(reply.Shard), conn: conn, sc: sc}
+	s.shard.pmu.Lock()
+	old := s.shard.peers[pc.shard]
+	s.shard.peers[pc.shard] = pc
+	s.shard.pmu.Unlock()
+	if old != nil {
+		old.conn.Close()
+	}
+	s.logf("peer shard %d connected (epoch %d)", pc.shard, reply.Epoch)
+	return pc.shard, nil
+}
+
+// HasPeer reports whether an outbound connection to the given shard is
+// currently attached; dial loops poll it to detect a dropped peer and
+// redial.
+func (s *Server) HasPeer(shard int) bool {
+	if s.shard == nil {
+		return false
+	}
+	s.shard.pmu.Lock()
+	defer s.shard.pmu.Unlock()
+	_, ok := s.shard.peers[shard]
+	return ok
+}
+
+// validatePeer checks a PeerHello against this daemon's cluster shape.
+func (st *shardState) validatePeer(h wire.PeerHello) error {
+	switch {
+	case h.Version > wire.Version:
+		return fmt.Errorf("server: peer speaks protocol v%d, daemon supports v%d", h.Version, wire.Version)
+	case int(h.NumShards) != st.smap.NumShards():
+		return fmt.Errorf("server: peer believes in %d shards, this cluster has %d", h.NumShards, st.smap.NumShards())
+	case int(h.Shard) >= st.smap.NumShards():
+		return fmt.Errorf("server: peer shard %d out of range for %d shards", h.Shard, st.smap.NumShards())
+	case int(h.Shard) == st.index:
+		return fmt.Errorf("server: peer claims this daemon's own shard %d", h.Shard)
+	}
+	return nil
+}
+
+// Peers returns the shard indices of the currently connected outbound peers,
+// sorted.
+func (s *Server) Peers() []int {
+	if s.shard == nil {
+		return nil
+	}
+	s.shard.pmu.Lock()
+	out := make([]int, 0, len(s.shard.peers))
+	for shard := range s.shard.peers {
+		out = append(out, shard)
+	}
+	s.shard.pmu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// buildExchangeLocked encodes this iteration's digest+snapshot bundle for
+// every connected peer and returns the peers to push to, in shard order.
+// Called with s.mu (engine state) and shard.sendMu held.
+func (s *Server) buildExchangeLocked(seq uint64) []*peerConn {
+	st := s.shard
+	st.pmu.Lock()
+	peers := make([]*peerConn, 0, len(st.peers))
+	for _, pc := range st.peers {
+		peers = append(peers, pc)
+	}
+	st.pmu.Unlock()
+	if len(peers) == 0 {
+		return nil
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].shard < peers[j].shard })
+
+	st.ex.LinkPrices(st.boundary, st.snapPrices)
+	epoch := s.Epoch()
+	for _, pc := range peers {
+		remote := st.smap.BoundaryLinks(pc.shard)
+		if cap(st.digestLoads) < len(remote) {
+			st.digestLoads = make([]float64, len(remote))
+			st.digestHdiag = make([]float64, len(remote))
+		}
+		loads := st.digestLoads[:len(remote)]
+		hdiag := st.digestHdiag[:len(remote)]
+		if err := st.ex.BoundaryDigest(remote, loads, hdiag); err != nil {
+			s.logf("boundary digest for shard %d: %v", pc.shard, err)
+			continue
+		}
+		buf := pc.buf[:0]
+		for start := 0; start < len(remote); start += wire.MaxDigestEntries {
+			end := min(start+wire.MaxDigestEntries, len(remote))
+			buf = wire.AppendPriceDigestHeader(buf, seq, uint32(st.index), end-start)
+			for i := start; i < end; i++ {
+				buf = wire.AppendDigestEntry(buf, wire.DigestEntry{
+					Link: uint32(remote[i]), Load: loads[i], Hdiag: hdiag[i],
+				})
+			}
+		}
+		// The receiver acks every snapshot chunk, so count the chunks this
+		// bundle will produce for sendExchange to await.
+		pc.acks = 0
+		for start := 0; start < len(st.boundary); start += wire.MaxSnapshotEntries {
+			end := min(start+wire.MaxSnapshotEntries, len(st.boundary))
+			buf = wire.AppendPriceSnapshotHeader(buf, epoch, seq, uint32(st.index), end-start)
+			for i := start; i < end; i++ {
+				buf = wire.AppendSnapshotEntry(buf, wire.SnapshotEntry{
+					Link: uint32(st.boundary[i]), Price: st.snapPrices[i],
+				})
+			}
+			pc.acks++
+		}
+		pc.buf = buf
+		pc.seq = seq
+	}
+	return peers
+}
+
+// sendExchange pushes the prepared bundles and waits for each peer's ack
+// (the receiver acknowledges from its reader goroutine immediately, never
+// from its own iteration path, so two shards pushing to each other cannot
+// deadlock). A peer that fails is dropped; the shard keeps iterating with
+// its last imported state until the operator reconnects it.
+func (s *Server) sendExchange(peers []*peerConn) {
+	for _, pc := range peers {
+		if len(pc.buf) == 0 {
+			continue
+		}
+		// Bound the whole push: a wedged peer (alive but not draining) is
+		// dropped at the deadline instead of freezing the allocation loop.
+		if err := pc.conn.SetDeadline(time.Now().Add(peerExchangeTimeout)); err != nil {
+			s.dropPeer(pc, err)
+			continue
+		}
+		if err := s.pushBundle(pc); err != nil {
+			s.dropPeer(pc, err)
+			continue
+		}
+		if err := pc.conn.SetDeadline(time.Time{}); err != nil {
+			s.dropPeer(pc, err)
+		}
+	}
+}
+
+// pushBundle writes one prepared bundle and consumes its acks (one per
+// snapshot chunk, each echoing the bundle's sequence number).
+func (s *Server) pushBundle(pc *peerConn) error {
+	if _, err := pc.conn.Write(pc.buf); err != nil {
+		return err
+	}
+	for i := 0; i < pc.acks; i++ {
+		typ, payload, err := pc.sc.Next()
+		if err != nil {
+			return err
+		}
+		if typ != wire.TypeExchangeAck {
+			return fmt.Errorf("unexpected %s frame", typ)
+		}
+		seq, err := wire.DecodeExchangeAck(payload)
+		if err != nil || seq != pc.seq {
+			return fmt.Errorf("bad exchange ack (seq %d, want %d): %v", seq, pc.seq, err)
+		}
+	}
+	return nil
+}
+
+// dropPeer detaches a failed outbound peer connection.
+func (s *Server) dropPeer(pc *peerConn, err error) {
+	st := s.shard
+	st.pmu.Lock()
+	if st.peers[pc.shard] == pc {
+		delete(st.peers, pc.shard)
+	}
+	st.pmu.Unlock()
+	pc.conn.Close()
+	if !s.isClosed() {
+		s.logf("peer shard %d dropped: %v", pc.shard, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: serving peer sessions and folding their bundles.
+
+// servePeer runs one inbound shard-to-shard session: it completes the
+// symmetric handshake, then enqueues every digest and snapshot for the next
+// iteration boundary, acknowledging each bundle as its snapshot arrives.
+func (s *Server) servePeer(conn net.Conn, sc *wire.Scanner, payload []byte) error {
+	if s.shard == nil {
+		return fmt.Errorf("server: peer hello on an unsharded daemon")
+	}
+	hello, err := wire.DecodePeerHello(payload)
+	if err != nil {
+		return fmt.Errorf("server: peer handshake: %w", err)
+	}
+	if err := s.shard.validatePeer(hello); err != nil {
+		return err
+	}
+	reply := wire.AppendPeerHello(nil, wire.PeerHello{
+		Version:   wire.Version,
+		Shard:     uint32(s.cfg.ShardIndex),
+		NumShards: uint32(s.cfg.NumShards),
+		Epoch:     s.Epoch(),
+	})
+	if _, err := conn.Write(reply); err != nil {
+		return fmt.Errorf("server: peer handshake: %w", err)
+	}
+	s.logf("peer shard %d session from %v (epoch %d)", hello.Shard, conn.RemoteAddr(), hello.Epoch)
+
+	var ack []byte
+	for {
+		typ, payload, err := sc.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+		}
+		switch typ {
+		case wire.TypePriceDigest:
+			d, err := wire.DecodePriceDigest(payload)
+			if err != nil {
+				return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+			}
+			if d.Shard != hello.Shard {
+				s.stPeerRej.Add(1)
+				continue
+			}
+			s.shard.enqueueDigest(d)
+		case wire.TypePriceSnapshot:
+			sn, err := wire.DecodePriceSnapshot(payload)
+			if err != nil {
+				return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+			}
+			if sn.Shard != hello.Shard || sn.Epoch < hello.Epoch {
+				// Wrong sender or a snapshot taken before the generation
+				// this session advertised: drop the content but still ack,
+				// because the peer blocks on delivery, not acceptance.
+				s.stPeerRej.Add(1)
+			} else {
+				s.shard.enqueueSnapshot(sn)
+			}
+			ack = wire.AppendExchangeAck(ack[:0], sn.Seq)
+			if _, err := conn.Write(ack); err != nil {
+				return fmt.Errorf("server: peer shard %d: ack: %w", hello.Shard, err)
+			}
+		default:
+			return fmt.Errorf("server: peer shard %d: unexpected %s frame", hello.Shard, typ)
+		}
+	}
+}
+
+// enqueueDigest copies a digest out of the scanner buffer into the pending
+// queue.
+func (st *shardState) enqueueDigest(d wire.PriceDigest) {
+	m := exchangeMsg{
+		from:  d.Shard,
+		seq:   d.Seq,
+		links: make([]int32, d.Len()),
+		vals:  make([]float64, d.Len()),
+		hdiag: make([]float64, d.Len()),
+	}
+	for i := 0; i < d.Len(); i++ {
+		e := d.Entry(i)
+		m.links[i] = int32(e.Link)
+		m.vals[i] = e.Load
+		m.hdiag[i] = e.Hdiag
+	}
+	st.inMu.Lock()
+	st.pending = append(st.pending, m)
+	st.inMu.Unlock()
+}
+
+// enqueueSnapshot copies a snapshot out of the scanner buffer into the
+// pending queue.
+func (st *shardState) enqueueSnapshot(sn wire.PriceSnapshot) {
+	m := exchangeMsg{
+		from:     sn.Shard,
+		seq:      sn.Seq,
+		snapshot: true,
+		links:    make([]int32, sn.Len()),
+		vals:     make([]float64, sn.Len()),
+	}
+	for i := 0; i < sn.Len(); i++ {
+		e := sn.Entry(i)
+		m.links[i] = int32(e.Link)
+		m.vals[i] = e.Price
+	}
+	st.inMu.Lock()
+	st.pending = append(st.pending, m)
+	st.inMu.Unlock()
+}
+
+// foldExchangeLocked folds pending peer bundles into the engine. Called with
+// s.mu held, before flowlet events are drained. Step-driven daemons apply
+// only bundles stamped at or before their own completed iteration count, so
+// a bundle from iteration k lands at iteration k+1 on every shard no matter
+// in which order a cluster client steps the daemons; free-running daemons
+// fold everything that has arrived.
+func (s *Server) foldExchangeLocked() {
+	st := s.shard
+	st.inMu.Lock()
+	if len(st.pending) == 0 {
+		st.inMu.Unlock()
+		return
+	}
+	var apply []exchangeMsg
+	if s.cfg.Interval == 0 {
+		kept := st.pending[:0]
+		for _, m := range st.pending {
+			if m.seq <= s.seq {
+				apply = append(apply, m)
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		st.pending = kept
+	} else {
+		apply = st.pending
+		st.pending = st.drain[:0]
+		st.drain = apply
+	}
+	st.inMu.Unlock()
+
+	digests := false
+	for _, m := range apply {
+		s.stPeerEx.Add(1)
+		if m.snapshot {
+			st.pinLinks = st.pinLinks[:0]
+			st.pinVals = st.pinVals[:0]
+			for i, l := range m.links {
+				if l < 0 || int(l) >= st.numLinks || st.smap.OwnerOfLink(topology.LinkID(l)) != int(m.from) {
+					s.stPeerRej.Add(1)
+					continue
+				}
+				st.pinLinks = append(st.pinLinks, topology.LinkID(l))
+				st.pinVals = append(st.pinVals, m.vals[i])
+			}
+			if len(st.pinLinks) > 0 {
+				st.ex.PinPrices(st.pinLinks, st.pinVals)
+			}
+			continue
+		}
+		loads, hdiag := st.peerContrib(m.from)
+		for i, l := range m.links {
+			pos := int32(-1)
+			if l >= 0 && int(l) < st.numLinks {
+				pos = st.posOf[l]
+			}
+			if pos < 0 {
+				s.stPeerRej.Add(1)
+				continue
+			}
+			loads[pos] = m.vals[i]
+			hdiag[pos] = m.hdiag[i]
+		}
+		digests = true
+	}
+	if digests {
+		for i := range st.extLoad {
+			st.extLoad[i] = 0
+			st.extHdiag[i] = 0
+		}
+		// Sum contributions in shard order, never map order: float addition
+		// is not associative, so a randomized order would make runs with
+		// three or more peers diverge at ULP scale.
+		for from := 0; from < st.smap.NumShards(); from++ {
+			loads, ok := st.peerLoad[uint32(from)]
+			if !ok {
+				continue
+			}
+			hdiag := st.peerHdiag[uint32(from)]
+			for i := range st.extLoad {
+				st.extLoad[i] += loads[i]
+				st.extHdiag[i] += hdiag[i]
+			}
+		}
+		st.ex.SetExternalLoads(st.boundary, st.extLoad, st.extHdiag)
+	}
+}

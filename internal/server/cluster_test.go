@@ -1,0 +1,240 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// clusterTopo is a 4-rack fabric sharded in halves by the cluster tests.
+func clusterTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks: 4, ServersPerRack: 2, Spines: 2, LinkCapacity: 10e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// startShardPair builds a 2-shard cluster over in-memory pipes: two sharded
+// daemons, peer connections in both directions, and one client per shard.
+func startShardPair(t *testing.T) (srvs [2]*Server, clis [2]*transport.AllocClient) {
+	t.Helper()
+	topo := clusterTopo(t)
+	for i := 0; i < 2; i++ {
+		srv, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		srvs[i] = srv
+	}
+	for i := 0; i < 2; i++ {
+		out, in := net.Pipe()
+		go srvs[1-i].ServeConn(in)
+		if _, err := srvs[i].ConnectPeer(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		clientEnd, serverEnd := net.Pipe()
+		go srvs[i].ServeConn(serverEnd)
+		cli, err := transport.NewAllocClient(clientEnd, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cli.Close() })
+		clis[i] = cli
+	}
+	return srvs, clis
+}
+
+// TestBoundaryExchangeSharesCongestion is the end-to-end check of the price
+// exchange: a cross-shard flow (shard 0 → a server in shard 1) and a local
+// flow inside shard 1 share one downward link. Without the exchange each
+// daemon would hand its flow the full link; with it, the owner prices the
+// link from cluster-wide demand, the remote shard imports that price, and
+// the two flows converge to fair shares that fit the link.
+func TestBoundaryExchangeSharesCongestion(t *testing.T) {
+	srvs, clis := startShardPair(t)
+	if got := srvs[0].Peers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("shard 0 peers = %v, want [1]", got)
+	}
+
+	// Flow 1: server 0 (rack 0, shard 0) → server 4 (rack 2, shard 1).
+	// Flow 2: server 5 → server 4, intra-rack inside shard 1.
+	// Shared bottleneck: the tor2→server4 downward link (10 Gbit/s).
+	if err := clis[0].FlowletStart(1, 0, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := clis[1].FlowletStart(2, 5, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 200; round++ {
+		if _, err := clis[0].Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clis[1].Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1 := srvs[0].Rates()[core.FlowID(1)]
+	r2 := srvs[1].Rates()[core.FlowID(2)]
+	const cap = 10e9
+	if r1 <= 0 || r2 <= 0 {
+		t.Fatalf("rates not allocated: r1=%g r2=%g", r1, r2)
+	}
+	if sum := r1 + r2; sum > 1.02*cap {
+		t.Fatalf("combined allocation %g overshoots the shared link (%g): the exchange is not pricing remote demand", sum, cap)
+	}
+	// Proportional fairness on one shared link: roughly equal shares.
+	if r1 < 0.3*cap || r2 < 0.3*cap {
+		t.Fatalf("shares too skewed: r1=%g r2=%g", r1, r2)
+	}
+	for i, srv := range srvs {
+		st := srv.Stats()
+		if st.PeerExchanges == 0 {
+			t.Fatalf("shard %d folded no peer exchanges", i)
+		}
+		if st.PeerRejected != 0 {
+			t.Fatalf("shard %d rejected %d peer entries", i, st.PeerRejected)
+		}
+	}
+}
+
+// TestShardRejectsForeignFlow pins flow ownership: a sharded daemon refuses
+// flowlets sourced in a peer's racks instead of double-allocating them.
+func TestShardRejectsForeignFlow(t *testing.T) {
+	srvs, clis := startShardPair(t)
+	// Server 4 belongs to shard 1; registering its flow on shard 0 must be
+	// dropped at the fold.
+	if err := clis[0].FlowletStart(3, 4, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clis[0].Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srvs[0].NumFlows(); got != 0 {
+		t.Fatalf("foreign flow registered: NumFlows = %d", got)
+	}
+	if st := srvs[0].Stats(); st.RejectedAdds != 1 {
+		t.Fatalf("RejectedAdds = %d, want 1", st.RejectedAdds)
+	}
+}
+
+// TestPeerHandshakeValidation pins the cluster-shape checks of the peer
+// handshake.
+func TestPeerHandshakeValidation(t *testing.T) {
+	topo := clusterTopo(t)
+	sharded, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	unsharded, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsharded.Close()
+
+	// ConnectPeer is meaningless on an unsharded daemon.
+	a, b := net.Pipe()
+	defer b.Close()
+	if _, err := unsharded.ConnectPeer(a); err == nil {
+		t.Fatal("unsharded ConnectPeer accepted")
+	}
+
+	// A peer believing in a different shard count is refused.
+	other, err := New(Config{Topology: topo, NumShards: 4, ShardIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	// The acceptor rejects the mismatched hello and closes the connection,
+	// so the dialer sees its handshake fail (typically as EOF).
+	out, in := net.Pipe()
+	errc := make(chan error, 1)
+	go func() { errc <- sharded.ServeConn(in) }()
+	if _, err := other.ConnectPeer(out); err == nil {
+		t.Fatal("mismatched cluster accepted by dialer")
+	}
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("acceptor ended with %v, want shard-count error", err)
+	}
+
+	// A peer claiming our own shard index is refused by the acceptor.
+	same, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer same.Close()
+	out2, in2 := net.Pipe()
+	go sharded.ServeConn(in2)
+	if _, err := same.ConnectPeer(out2); err == nil {
+		t.Fatal("duplicate shard index accepted")
+	}
+}
+
+// TestConnectPeerTimesOutOnSilentPeer pins the outbound-handshake deadline:
+// a peer that accepts TCP but never replies must fail the dial attempt
+// within the exchange timeout instead of wedging the retry loop forever.
+func TestConnectPeerTimesOutOnSilentPeer(t *testing.T) {
+	topo := clusterTopo(t)
+	srv, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold it open, never reply
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.ConnectPeer(conn)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("silent peer handshake succeeded")
+		}
+	case <-time.After(peerExchangeTimeout + 5*time.Second):
+		t.Fatal("ConnectPeer wedged past the handshake deadline")
+	}
+}
+
+// TestShardedRequiresSequentialEngine pins the engine restriction.
+func TestShardedRequiresSequentialEngine(t *testing.T) {
+	topo := clusterTopo(t)
+	if _, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 0, Blocks: 2}); err == nil {
+		t.Fatal("sharded parallel engine accepted")
+	}
+	if _, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 5}); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := New(Config{Topology: topo, NumShards: 3, ShardIndex: 0}); err == nil {
+		t.Fatal("3 shards over 4 racks accepted")
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"repro/internal/core"
+	"repro/internal/topology"
 )
 
 // engine abstracts the daemon's optimizer: the sequential NED allocator or
@@ -44,6 +45,23 @@ func (e *coreEngine) Iterate() []core.RateUpdate      { return e.alloc.Iterate()
 func (e *coreEngine) NumFlows() int                   { return e.alloc.NumFlows() }
 func (e *coreEngine) Rates() map[core.FlowID]float64  { return e.alloc.Rates() }
 func (e *coreEngine) Close()                          {}
+
+// The sequential engine supports the sharded boundary exchange by
+// delegating to the allocator's boundary API (see internal/core/boundary.go
+// and this package's cluster.go).
+
+func (e *coreEngine) SetExternalLoads(links []topology.LinkID, loads, hdiag []float64) {
+	e.alloc.SetExternalLoads(links, loads, hdiag)
+}
+func (e *coreEngine) PinPrices(links []topology.LinkID, prices []float64) {
+	e.alloc.PinPrices(links, prices)
+}
+func (e *coreEngine) BoundaryDigest(links []topology.LinkID, loads, hdiag []float64) error {
+	return e.alloc.BoundaryDigest(links, loads, hdiag)
+}
+func (e *coreEngine) LinkPrices(links []topology.LinkID, prices []float64) {
+	e.alloc.LinkPrices(links, prices)
+}
 
 // parallelEngine adapts the multicore core.ParallelAllocator, which now
 // maintains its flow set incrementally: FlowletStart/FlowletEnd are O(route

@@ -45,6 +45,30 @@ type Config struct {
 	LatencyWindow int
 	// Logf, when set, receives daemon log lines.
 	Logf func(format string, args ...any)
+
+	// MaxSessionFlows caps the number of live flowlets one session may
+	// register (0 = unlimited). Adds beyond the cap are dropped at the
+	// iteration boundary and counted in Stats.LimitedAdds, so one buggy
+	// or hostile endpoint cannot grow the optimizer without bound.
+	MaxSessionFlows int
+	// MaxFrameRate caps the sustained frame rate of one session in frames
+	// per second (0 = unlimited), with a one-second burst allowance. A
+	// session exceeding it is disconnected.
+	MaxFrameRate float64
+	// IdleTimeout disconnects a session that has sent no frame for this
+	// long (0 = never). Free-running daemons use it to shed endpoints
+	// that died without closing their connection.
+	IdleTimeout time.Duration
+
+	// NumShards enables sharded cluster operation: this daemon owns shard
+	// ShardIndex of a NumShards-way rack partition of Topology (see
+	// topology.ShardMap), accepts only flowlets whose source servers it
+	// owns, and exchanges boundary prices with its peers (Server.ConnectPeer)
+	// at every iteration boundary. 0 runs the daemon unsharded. Sharded
+	// mode currently requires the sequential engine (Blocks = 0).
+	NumShards int
+	// ShardIndex is this daemon's shard in [0, NumShards).
+	ShardIndex int
 }
 
 // Stats is a snapshot of daemon counters.
@@ -69,6 +93,14 @@ type Stats struct {
 	UpdatesSent      int64
 	UpdatesCoalesced int64
 	BatchesSent      int64
+	// LimitedAdds counts adds dropped because the session hit
+	// Config.MaxSessionFlows.
+	LimitedAdds int64
+	// PeerExchanges counts boundary-exchange bundles folded in from peer
+	// shards; PeerRejected counts peer frames or entries dropped as
+	// invalid (wrong owner, unknown link, stale epoch).
+	PeerExchanges int64
+	PeerRejected  int64
 }
 
 // event is one flowlet notification waiting for the next iteration boundary.
@@ -119,6 +151,16 @@ type Server struct {
 	stUpdates   atomic.Int64
 	stCoalesced atomic.Int64
 	stBatches   atomic.Int64
+	stLimited   atomic.Int64
+	stPeerEx    atomic.Int64
+	stPeerRej   atomic.Int64
+
+	// epoch is the allocator generation announced in handshakes; BumpEpoch
+	// advances it mid-run and notifies connected clients.
+	epoch atomic.Uint64
+
+	// shard is the sharded-cluster state, nil for an unsharded daemon.
+	shard *shardState
 }
 
 // New creates a daemon. The caller owns serving: pass a listener to Serve,
@@ -135,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Epoch == 0 {
 		cfg.Epoch = 1
+	}
+	if cfg.MaxSessionFlows < 0 || cfg.MaxFrameRate < 0 || cfg.IdleTimeout < 0 {
+		return nil, fmt.Errorf("server: session limits must be non-negative")
 	}
 	var eng engine
 	var err error
@@ -155,6 +200,17 @@ func New(cfg Config) (*Server, error) {
 		owners:   make(map[core.FlowID]*session),
 		done:     make(chan struct{}),
 	}
+	s.epoch.Store(cfg.Epoch)
+	if cfg.NumShards > 0 {
+		s.shard, err = newShardState(cfg, eng)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+	} else if cfg.NumShards < 0 || cfg.ShardIndex != 0 {
+		eng.Close()
+		return nil, fmt.Errorf("server: invalid shard configuration %d/%d", cfg.ShardIndex, cfg.NumShards)
+	}
 	if cfg.Interval > 0 {
 		s.wg.Add(1)
 		go s.tickLoop()
@@ -170,7 +226,54 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Epoch returns the daemon's allocator epoch.
-func (s *Server) Epoch() uint64 { return s.cfg.Epoch }
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// BumpEpoch advances the daemon's allocator epoch (it must be greater than
+// the current one) and pushes an EpochNotify frame to every connected
+// protocol-v2 client, so endpoints learn about an allocator state reset
+// without waiting for a failed write; they respond by re-registering their
+// flowlets (transport.AllocClient.Reconnect). Operators use it after
+// swapping allocator state under a live daemon.
+func (s *Server) BumpEpoch(epoch uint64) error {
+	for {
+		cur := s.epoch.Load()
+		if epoch <= cur {
+			return fmt.Errorf("server: epoch %d does not advance current epoch %d", epoch, cur)
+		}
+		if s.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	notify := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		if sess.version >= 2 {
+			notify = append(notify, sess)
+		}
+	}
+	// Register the notifier goroutines under s.mu, like session writers, so
+	// Close cannot start waiting between the check above and the Add.
+	s.wg.Add(len(notify))
+	s.mu.Unlock()
+	frame := wire.AppendEpochNotify(nil, wire.EpochNotify{Epoch: epoch})
+	for _, sess := range notify {
+		// One goroutine per session: a slow or dead client must not stall
+		// the operator path or its peers (frame is never written to, so
+		// sharing it is safe).
+		go func() {
+			defer s.wg.Done()
+			if err := sess.write(frame); err != nil {
+				s.removeSession(sess)
+			}
+		}()
+	}
+	s.logf("epoch bumped to %d (%d clients notified)", epoch, len(notify))
+	return nil
+}
 
 // NumFlows returns the number of currently registered flowlets.
 func (s *Server) NumFlows() int {
@@ -201,6 +304,9 @@ func (s *Server) Stats() Stats {
 		UpdatesSent:      s.stUpdates.Load(),
 		UpdatesCoalesced: s.stCoalesced.Load(),
 		BatchesSent:      s.stBatches.Load(),
+		LimitedAdds:      s.stLimited.Load(),
+		PeerExchanges:    s.stPeerEx.Load(),
+		PeerRejected:     s.stPeerRej.Load(),
 	}
 }
 
@@ -302,6 +408,11 @@ func (s *Server) Close() error {
 	for _, conn := range conns {
 		conn.Close()
 	}
+	if s.shard != nil {
+		// Closing outbound peer connections unblocks any iteration waiting
+		// on an exchange ack.
+		s.shard.closePeers()
+	}
 	s.wg.Wait()
 
 	s.mu.Lock()
@@ -318,6 +429,9 @@ type session struct {
 	srv  *Server
 	conn net.Conn
 	id   uint64 // client label from Hello
+	// version is the protocol version the client announced; v2 frames
+	// (EpochNotify) are only pushed to sessions that understand them.
+	version uint16
 
 	// Write side: wmu serializes frame writes; wbuf is the reused
 	// synchronous-path encode buffer.
@@ -359,10 +473,28 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	}()
 	sc := wire.NewScanner(conn)
 
-	// Handshake: the first frame must be a compatible Hello.
+	// Handshake: the first frame must be a compatible Hello — or, on a
+	// sharded daemon, a PeerHello opening a shard-to-shard session. The
+	// idle timeout covers this first read too, so a connection that never
+	// completes its handshake cannot pin a goroutine forever.
+	if s.cfg.IdleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return fmt.Errorf("server: handshake: %w", err)
+		}
+	}
 	typ, payload, err := sc.Next()
 	if err != nil {
 		return fmt.Errorf("server: handshake read: %w", err)
+	}
+	if typ == wire.TypePeerHello {
+		// Peer sessions are push-driven by the remote daemon's iteration
+		// cadence, which this daemon cannot predict; lift the deadline.
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Time{}); err != nil {
+				return fmt.Errorf("server: handshake: %w", err)
+			}
+		}
+		return s.servePeer(conn, sc, payload)
 	}
 	if typ != wire.TypeHello {
 		return fmt.Errorf("server: handshake: expected hello, got %s", typ)
@@ -379,6 +511,7 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		srv:     s,
 		conn:    conn,
 		id:      hello.ClientID,
+		version: hello.Version,
 		pending: make(map[int64]float64),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -400,9 +533,15 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		sess.writer()
 	}()
 
+	// Advertise the highest version both sides speak, so old clients keep
+	// working and are never sent v2 frames.
+	version := uint16(wire.Version)
+	if hello.Version < version {
+		version = hello.Version
+	}
 	welcome := wire.AppendWelcome(nil, wire.Welcome{
-		Version:       wire.Version,
-		Epoch:         s.cfg.Epoch,
+		Version:       version,
+		Epoch:         s.Epoch(),
 		IntervalNanos: uint64(s.cfg.Interval),
 	})
 	if err := sess.write(welcome); err != nil {
@@ -410,13 +549,47 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	}
 	s.logf("session %d connected from %v", sess.id, conn.RemoteAddr())
 
+	// Frame-rate policing: a token bucket refilled at MaxFrameRate with a
+	// one-second burst allowance (floored at one frame, so sub-1 rates
+	// throttle instead of disconnecting every client on its first frame).
+	var tokens, burst float64
+	var lastRefill time.Time
+	if s.cfg.MaxFrameRate > 0 {
+		burst = s.cfg.MaxFrameRate
+		if burst < 1 {
+			burst = 1
+		}
+		tokens = burst
+		lastRefill = time.Now()
+	}
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return fmt.Errorf("server: session %d: %w", sess.id, err)
+			}
+		}
 		typ, payload, err := sc.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return fmt.Errorf("server: session %d: idle for %v, disconnecting", sess.id, s.cfg.IdleTimeout)
+			}
 			return fmt.Errorf("server: session %d: %w", sess.id, err)
+		}
+		if s.cfg.MaxFrameRate > 0 {
+			now := time.Now()
+			tokens += now.Sub(lastRefill).Seconds() * s.cfg.MaxFrameRate
+			if tokens > burst {
+				tokens = burst
+			}
+			lastRefill = now
+			if tokens < 1 {
+				return fmt.Errorf("server: session %d: frame rate exceeded %g frames/s, disconnecting", sess.id, s.cfg.MaxFrameRate)
+			}
+			tokens--
 		}
 		switch typ {
 		case wire.TypeFlowletAdd:
@@ -572,10 +745,20 @@ func (sess *session) writer() {
 // (possibly empty) echoing stepSeq with wire.StepReplyFlag set; updates owned
 // by other sessions go through their asynchronous writers.
 func (s *Server) iterate(stepper *session, stepSeq uint64) error {
+	if s.shard != nil {
+		// Serialize the whole fold → iterate → exchange sequence across
+		// concurrent iterations so peers always observe bundles in
+		// iteration order.
+		s.shard.sendMu.Lock()
+		defer s.shard.sendMu.Unlock()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return net.ErrClosed
+	}
+	if s.shard != nil {
+		s.foldExchangeLocked()
 	}
 	s.drainInboxLocked()
 
@@ -643,7 +826,19 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 			owner.queueUpdate(int64(u.Flow), u.Rate, seq)
 		}
 	}
+	var peers []*peerConn
+	if s.shard != nil {
+		peers = s.buildExchangeLocked(seq)
+	}
 	s.mu.Unlock()
+
+	// Push the boundary exchange before replying to a stepper: once the
+	// step returns, this iteration's digests and snapshots are guaranteed
+	// to sit in every live peer's inbox, which is what makes step-driven
+	// cluster runs deterministic.
+	if len(peers) > 0 {
+		s.sendExchange(peers)
+	}
 
 	if stepper != nil {
 		if err := stepper.write(reply); err != nil {
@@ -698,6 +893,19 @@ func (s *Server) drainInboxLocked() {
 				s.stRejected.Add(1)
 				continue
 			}
+			if s.cfg.MaxSessionFlows > 0 && len(ev.sess.flows) >= s.cfg.MaxSessionFlows {
+				s.stLimited.Add(1)
+				s.logf("flowlet %d add dropped: session %d at its %d-flow limit", ev.flow, ev.sess.id, s.cfg.MaxSessionFlows)
+				continue
+			}
+		}
+		if s.shard != nil && !s.shard.ownsFlow(ev.src, ev.dst) {
+			// A sharded daemon allocates only flowlets sourced in its own
+			// racks; anything else belongs to a peer and registering it
+			// here would double-allocate its path.
+			s.stRejected.Add(1)
+			s.logf("flowlet %d add rejected: server %d is not owned by shard %d/%d", ev.flow, ev.src, s.cfg.ShardIndex, s.cfg.NumShards)
+			continue
 		}
 		if err := s.eng.FlowletStart(ev.flow, ev.src, ev.dst, ev.weight); err != nil {
 			s.stRejected.Add(1)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -9,6 +10,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/wire"
 )
+
+// ErrEpochChanged reports that the daemon pushed an EpochNotify frame: its
+// allocator state was reset under a live connection (an operator epoch bump
+// or a failover). The client has already recorded the new epoch; the caller
+// should re-establish the session with Reconnect, which re-registers the
+// live flowlet set.
+var ErrEpochChanged = errors.New("transport: daemon epoch changed; reconnect to re-register flowlets")
 
 // AllocatorBackend is where the simulation engine's Flowtune control plane
 // terminates: either the in-process core.Allocator or a flowtuned daemon
@@ -260,17 +268,27 @@ func (c *AllocClient) Recv(timeout time.Duration) ([]core.RateUpdate, uint64, er
 	return c.updates, batch.Seq &^ wire.StepReplyFlag, nil
 }
 
-// readBatch reads the next frame, which in protocol v1 must be a RateBatch —
-// the daemon sends nothing else after the handshake.
+// readBatch reads the next RateBatch frame. An EpochNotify push interrupts
+// the read with ErrEpochChanged after recording the new epoch; anything else
+// the daemon never sends after the handshake.
 func (c *AllocClient) readBatch() (wire.RateBatch, error) {
 	typ, payload, err := c.sc.Next()
 	if err != nil {
 		return wire.RateBatch{}, fmt.Errorf("transport: allocator read: %w", err)
 	}
-	if typ != wire.TypeRateBatch {
+	switch typ {
+	case wire.TypeRateBatch:
+		return wire.DecodeRateBatch(payload)
+	case wire.TypeEpochNotify:
+		m, err := wire.DecodeEpochNotify(payload)
+		if err != nil {
+			return wire.RateBatch{}, fmt.Errorf("transport: %w", err)
+		}
+		c.epoch = m.Epoch
+		return wire.RateBatch{}, ErrEpochChanged
+	default:
 		return wire.RateBatch{}, fmt.Errorf("transport: unexpected %s frame from daemon", typ)
 	}
-	return wire.DecodeRateBatch(payload)
 }
 
 // appendBatch decodes a batch into c.updates, filling Src from the client's

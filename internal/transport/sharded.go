@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// ShardedClient is the endpoint side of a sharded allocator cluster: one
+// AllocClient per flowtuned shard, multiplexed behind the AllocatorBackend
+// interface. Every flowlet is hashed to its owning shard (the shard of its
+// source server, matching the daemons' ownership rule), notifications are
+// buffered on the owning shard's session, and Step drives the daemons in
+// shard order, merging their rate updates into one stream. Like AllocClient
+// it is not safe for concurrent use.
+type ShardedClient struct {
+	smap    *topology.ShardMap
+	clients []*AllocClient
+	shardOf map[core.FlowID]int
+	updates []core.RateUpdate
+}
+
+// ShardError wraps an error from one shard's session with the shard index,
+// so a caller can repair exactly the session that failed (see Reconnect).
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// NewShardedClient wraps one established connection per shard (conns[i]
+// must reach the daemon owning shard i of smap) and performs every
+// handshake. On failure all connections are closed.
+func NewShardedClient(conns []net.Conn, smap *topology.ShardMap, clientID uint64) (*ShardedClient, error) {
+	closeAll := func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}
+	if len(conns) != smap.NumShards() {
+		closeAll()
+		return nil, fmt.Errorf("transport: sharded client needs %d connections, got %d", smap.NumShards(), len(conns))
+	}
+	c := &ShardedClient{
+		smap:    smap,
+		clients: make([]*AllocClient, len(conns)),
+		shardOf: make(map[core.FlowID]int),
+	}
+	for i, conn := range conns {
+		cli, err := NewAllocClient(conn, clientID)
+		if err != nil {
+			closeAll()
+			return nil, &ShardError{Shard: i, Err: err}
+		}
+		c.clients[i] = cli
+	}
+	return c, nil
+}
+
+// DialShardedCluster connects to a flowtuned cluster over TCP, one address
+// per shard in shard order.
+func DialShardedCluster(addrs []string, smap *topology.ShardMap, clientID uint64) (*ShardedClient, error) {
+	conns := make([]net.Conn, 0, len(addrs))
+	for i, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, &ShardError{Shard: i, Err: fmt.Errorf("transport: dial shard: %w", err)}
+		}
+		conns = append(conns, conn)
+	}
+	return NewShardedClient(conns, smap, clientID)
+}
+
+// NumShards returns the cluster size.
+func (c *ShardedClient) NumShards() int { return len(c.clients) }
+
+// Client exposes one shard's underlying session (tests and reconnect logic
+// use it).
+func (c *ShardedClient) Client(shard int) *AllocClient { return c.clients[shard] }
+
+// Map returns the shard map the client hashes with.
+func (c *ShardedClient) Map() *topology.ShardMap { return c.smap }
+
+// NumFlows returns the number of flowlets registered across all shards.
+func (c *ShardedClient) NumFlows() int { return len(c.shardOf) }
+
+// FlowletStart buffers a flowlet-start notification on the owning shard's
+// session. Duplicate registrations are no-ops, mirroring AllocClient.
+func (c *ShardedClient) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	if _, dup := c.shardOf[id]; dup {
+		return nil
+	}
+	if src < 0 || src >= c.smap.Topology().NumServers() {
+		return fmt.Errorf("transport: flowlet %d: source server %d out of range", id, src)
+	}
+	shard := c.smap.ShardOfFlow(src, dst)
+	if err := c.clients[shard].FlowletStart(id, src, dst, weight); err != nil {
+		return &ShardError{Shard: shard, Err: err}
+	}
+	c.shardOf[id] = shard
+	return nil
+}
+
+// FlowletEnd buffers a flowlet-end notification on the shard that owns the
+// flow. Unknown flows are ignored.
+func (c *ShardedClient) FlowletEnd(id core.FlowID) error {
+	shard, ok := c.shardOf[id]
+	if !ok {
+		return nil
+	}
+	delete(c.shardOf, id)
+	if err := c.clients[shard].FlowletEnd(id); err != nil {
+		return &ShardError{Shard: shard, Err: err}
+	}
+	return nil
+}
+
+// Flush writes all buffered notifications to their daemons.
+func (c *ShardedClient) Flush() error {
+	for i, cli := range c.clients {
+		if err := cli.Flush(); err != nil {
+			return &ShardError{Shard: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// Step steps every shard daemon once, in shard order, and returns the
+// merged rate updates (each shard's updates in its own deterministic order,
+// concatenated shard by shard). Stepping shard by shard also sequences the
+// cluster's boundary-price exchange: a daemon pushes its bundle — and waits
+// for the ack — before its step returns, so by the time shard i+1 steps,
+// shard i's digest for this iteration is already queued there. The returned
+// slice is reused across calls.
+func (c *ShardedClient) Step() ([]core.RateUpdate, error) {
+	c.updates = c.updates[:0]
+	for i, cli := range c.clients {
+		ups, err := cli.Step()
+		if err != nil {
+			return nil, &ShardError{Shard: i, Err: err}
+		}
+		c.updates = append(c.updates, ups...)
+	}
+	return c.updates, nil
+}
+
+// Reconnect re-establishes one shard's session over a new connection after
+// it failed (or its daemon restarted with a new epoch): only that shard's
+// flowlets are re-registered, the others keep their live sessions — the
+// per-shard half of AllocClient.Reconnect.
+func (c *ShardedClient) Reconnect(shard int, conn net.Conn) error {
+	if err := c.clients[shard].Reconnect(conn); err != nil {
+		return &ShardError{Shard: shard, Err: err}
+	}
+	return nil
+}
+
+// Epoch returns one shard's allocator epoch from its handshake (or the last
+// EpochNotify it pushed).
+func (c *ShardedClient) Epoch(shard int) uint64 { return c.clients[shard].Epoch() }
+
+// Close closes every shard session, returning the first error.
+func (c *ShardedClient) Close() error {
+	var first error
+	for _, cli := range c.clients {
+		if err := cli.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -17,8 +17,19 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(AppendFlowletEnd(nil, FlowletEnd{Flow: 7}))
 	f.Add(AppendStep(nil, Step{Seq: 9}))
 	f.Add(AppendRateBatch(nil, 9, []RateEntry{{Flow: 7, Rate: 5e9}, {Flow: 8, Rate: math.NaN()}}))
+	f.Add(AppendEpochNotify(nil, EpochNotify{Epoch: 2}))
+	f.Add(AppendPeerHello(nil, PeerHello{Version: Version, Shard: 1, NumShards: 4, Epoch: 1}))
+	digest := AppendPriceDigestHeader(nil, 3, 1, 2)
+	digest = AppendDigestEntry(digest, DigestEntry{Link: 4, Load: 5e9, Hdiag: -1e-3})
+	digest = AppendDigestEntry(digest, DigestEntry{Link: 9, Load: 0, Hdiag: math.Inf(-1)})
+	f.Add(digest)
+	snap := AppendPriceSnapshotHeader(nil, 1, 3, 0, 1)
+	snap = AppendSnapshotEntry(snap, SnapshotEntry{Link: 4, Price: 1.5})
+	f.Add(snap)
+	f.Add(AppendExchangeAck(nil, 3))
 	f.Add([]byte{0xFF, 0x00})
 	f.Add(appendHeader(nil, TypeRateBatch, batchHdrLen+3))
+	f.Add(appendHeader(nil, TypePriceDigest, digestHdrLen+7))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		buf := data
@@ -68,6 +79,42 @@ func FuzzFrameRoundTrip(f *testing.F) {
 				for i := 0; i < b.Len(); i++ {
 					reenc = AppendRateEntry(reenc, b.Entry(i))
 				}
+			case TypeEpochNotify:
+				m, err := DecodeEpochNotify(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendEpochNotify(nil, m)
+			case TypePeerHello:
+				m, err := DecodePeerHello(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendPeerHello(nil, m)
+			case TypePriceDigest:
+				d, err := DecodePriceDigest(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendPriceDigestHeader(nil, d.Seq, d.Shard, d.Len())
+				for i := 0; i < d.Len(); i++ {
+					reenc = AppendDigestEntry(reenc, d.Entry(i))
+				}
+			case TypePriceSnapshot:
+				s, err := DecodePriceSnapshot(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendPriceSnapshotHeader(nil, s.Epoch, s.Seq, s.Shard, s.Len())
+				for i := 0; i < s.Len(); i++ {
+					reenc = AppendSnapshotEntry(reenc, s.Entry(i))
+				}
+			case TypeExchangeAck:
+				seq, err := DecodeExchangeAck(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendExchangeAck(nil, seq)
 			}
 			if reenc != nil {
 				orig := buf[:HeaderBytes+len(payload)]
@@ -115,7 +162,7 @@ func FuzzScanner(f *testing.F) {
 // rateEntryLenConsistency pins the wire-format constants: changing a layout
 // without bumping Version must fail loudly.
 func TestWireLayoutConstants(t *testing.T) {
-	if Version != 1 {
+	if Version != 2 {
 		t.Fatalf("Version = %d; update layout pins when revving the protocol", Version)
 	}
 	pins := []struct {
@@ -131,6 +178,13 @@ func TestWireLayoutConstants(t *testing.T) {
 		{"stepLen", stepLen, 8},
 		{"batchHdrLen", batchHdrLen, 12},
 		{"rateEntryLen", rateEntryLen, 16},
+		{"epochNotifyLen", epochNotifyLen, 8},
+		{"peerHelloLen", peerHelloLen, 18},
+		{"digestHdrLen", digestHdrLen, 16},
+		{"digestEntryLen", digestEntryLen, 20},
+		{"snapHdrLen", snapHdrLen, 24},
+		{"snapEntryLen", snapEntryLen, 12},
+		{"ackLen", ackLen, 8},
 	}
 	for _, p := range pins {
 		if p.got != p.want {

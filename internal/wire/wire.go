@@ -9,7 +9,11 @@ import (
 
 // Version is the current protocol version, negotiated in the Hello/Welcome
 // handshake. A server refuses clients speaking a newer major version.
-const Version = 1
+//
+// Version 2 adds the sharded-cluster frames (PeerHello, PriceDigest,
+// PriceSnapshot, ExchangeAck) and the server→client EpochNotify push;
+// version-1 clients are still accepted and are never sent v2 frames.
+const Version = 2
 
 // Frame layout: a 4-byte header (message type in byte 0, little-endian uint24
 // payload length in bytes 1-3) followed by the payload. All integer fields
@@ -42,6 +46,30 @@ const (
 	TypeStep
 	// TypeRateBatch carries a batch of rate updates (server → client).
 	TypeRateBatch
+
+	// Frame types added in protocol version 2.
+
+	// TypeEpochNotify announces a new allocator epoch mid-session
+	// (server → client), so endpoints detect a daemon state reset without
+	// waiting for a failed write. Clients react by re-registering their
+	// flowlets (AllocClient.Reconnect).
+	TypeEpochNotify
+	// TypePeerHello opens a shard-to-shard peer session (peer → peer); the
+	// accepting daemon replies with a Welcome.
+	TypePeerHello
+	// TypePriceDigest pushes one shard's local load and Hessian-diagonal
+	// contributions on links the receiver owns (peer → peer). The owner
+	// folds them into its next price update, so boundary links are priced
+	// from cluster-wide demand.
+	TypePriceDigest
+	// TypePriceSnapshot publishes the sender's current prices for links it
+	// owns (peer → peer), epoch-stamped so a restarted shard's stale prices
+	// are never folded into a newer generation.
+	TypePriceSnapshot
+	// TypeExchangeAck acknowledges receipt of an exchange bundle
+	// (a PriceDigest + PriceSnapshot pair); step-driven clusters use it as
+	// the delivery barrier that keeps runs deterministic.
+	TypeExchangeAck
 )
 
 // String returns the frame-type name.
@@ -59,6 +87,16 @@ func (t MsgType) String() string {
 		return "step"
 	case TypeRateBatch:
 		return "rate-batch"
+	case TypeEpochNotify:
+		return "epoch-notify"
+	case TypePeerHello:
+		return "peer-hello"
+	case TypePriceDigest:
+		return "price-digest"
+	case TypePriceSnapshot:
+		return "price-snapshot"
+	case TypeExchangeAck:
+		return "exchange-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -73,6 +111,14 @@ const (
 	stepLen      = 8  // seq u64
 	batchHdrLen  = 12 // seq u64 + count u32
 	rateEntryLen = 16 // flow i64 + rate f64
+
+	epochNotifyLen = 8  // epoch u64
+	peerHelloLen   = 18 // version u16 + shard u32 + numShards u32 + epoch u64
+	digestHdrLen   = 16 // seq u64 + shard u32 + count u32
+	digestEntryLen = 20 // link u32 + load f64 + hdiag f64
+	snapHdrLen     = 24 // epoch u64 + seq u64 + shard u32 + count u32
+	snapEntryLen   = 12 // link u32 + price f64
+	ackLen         = 8  // seq u64
 )
 
 // Hello opens a session. ClientID is an opaque label the daemon echoes in
@@ -115,6 +161,37 @@ type Step struct {
 type RateEntry struct {
 	Flow int64
 	Rate float64
+}
+
+// EpochNotify announces a new allocator epoch to a connected client.
+type EpochNotify struct {
+	Epoch uint64
+}
+
+// PeerHello opens a shard-to-shard peer session: the dialing daemon
+// identifies its shard index and the cluster size it believes in, so a
+// misconfigured cluster (mismatched shard counts) fails at the handshake
+// instead of silently exchanging prices for the wrong partition.
+type PeerHello struct {
+	Version   uint16
+	Shard     uint32
+	NumShards uint32
+	Epoch     uint64
+}
+
+// DigestEntry is one link's remote contribution in a PriceDigest: the load
+// and Hessian diagonal the sending shard's flows put on a link the receiving
+// shard owns.
+type DigestEntry struct {
+	Link  uint32
+	Load  float64
+	Hdiag float64
+}
+
+// SnapshotEntry is one link's price in a PriceSnapshot.
+type SnapshotEntry struct {
+	Link  uint32
+	Price float64
 }
 
 // StepReplyFlag marks a RateBatch sent as the synchronous reply to a Step
@@ -166,6 +243,72 @@ func AppendFlowletEnd(buf []byte, m FlowletEnd) []byte {
 func AppendStep(buf []byte, m Step) []byte {
 	buf = appendHeader(buf, TypeStep, stepLen)
 	return binary.LittleEndian.AppendUint64(buf, m.Seq)
+}
+
+// AppendEpochNotify appends an encoded EpochNotify frame.
+func AppendEpochNotify(buf []byte, m EpochNotify) []byte {
+	buf = appendHeader(buf, TypeEpochNotify, epochNotifyLen)
+	return binary.LittleEndian.AppendUint64(buf, m.Epoch)
+}
+
+// AppendPeerHello appends an encoded PeerHello frame.
+func AppendPeerHello(buf []byte, m PeerHello) []byte {
+	buf = appendHeader(buf, TypePeerHello, peerHelloLen)
+	buf = binary.LittleEndian.AppendUint16(buf, m.Version)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Shard)
+	buf = binary.LittleEndian.AppendUint32(buf, m.NumShards)
+	return binary.LittleEndian.AppendUint64(buf, m.Epoch)
+}
+
+// MaxDigestEntries is the largest number of entries one PriceDigest frame
+// can carry without overflowing the uint24 payload length.
+const MaxDigestEntries = (MaxPayload - digestHdrLen) / digestEntryLen
+
+// AppendPriceDigestHeader appends the frame and digest headers of a
+// PriceDigest with count entries; the caller then appends exactly count
+// entries with AppendDigestEntry. count must not exceed MaxDigestEntries.
+func AppendPriceDigestHeader(buf []byte, seq uint64, shard uint32, count int) []byte {
+	buf = appendHeader(buf, TypePriceDigest, digestHdrLen+count*digestEntryLen)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, shard)
+	return binary.LittleEndian.AppendUint32(buf, uint32(count))
+}
+
+// AppendDigestEntry appends one entry of a PriceDigest opened with
+// AppendPriceDigestHeader.
+func AppendDigestEntry(buf []byte, e DigestEntry) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, e.Link)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Load))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Hdiag))
+}
+
+// MaxSnapshotEntries is the largest number of entries one PriceSnapshot
+// frame can carry without overflowing the uint24 payload length.
+const MaxSnapshotEntries = (MaxPayload - snapHdrLen) / snapEntryLen
+
+// AppendPriceSnapshotHeader appends the frame and snapshot headers of a
+// PriceSnapshot with count entries; the caller then appends exactly count
+// entries with AppendSnapshotEntry. count must not exceed
+// MaxSnapshotEntries.
+func AppendPriceSnapshotHeader(buf []byte, epoch, seq uint64, shard uint32, count int) []byte {
+	buf = appendHeader(buf, TypePriceSnapshot, snapHdrLen+count*snapEntryLen)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, shard)
+	return binary.LittleEndian.AppendUint32(buf, uint32(count))
+}
+
+// AppendSnapshotEntry appends one entry of a PriceSnapshot opened with
+// AppendPriceSnapshotHeader.
+func AppendSnapshotEntry(buf []byte, e SnapshotEntry) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, e.Link)
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Price))
+}
+
+// AppendExchangeAck appends an encoded ExchangeAck frame.
+func AppendExchangeAck(buf []byte, seq uint64) []byte {
+	buf = appendHeader(buf, TypeExchangeAck, ackLen)
+	return binary.LittleEndian.AppendUint64(buf, seq)
 }
 
 // MaxBatchEntries is the largest number of entries one RateBatch frame can
@@ -291,14 +434,126 @@ func (b RateBatch) Entry(i int) RateEntry {
 	}
 }
 
+// DecodeEpochNotify decodes an EpochNotify payload.
+func DecodeEpochNotify(p []byte) (EpochNotify, error) {
+	if len(p) != epochNotifyLen {
+		return EpochNotify{}, payloadErr(TypeEpochNotify, epochNotifyLen, len(p))
+	}
+	return EpochNotify{Epoch: binary.LittleEndian.Uint64(p)}, nil
+}
+
+// DecodePeerHello decodes a PeerHello payload.
+func DecodePeerHello(p []byte) (PeerHello, error) {
+	if len(p) != peerHelloLen {
+		return PeerHello{}, payloadErr(TypePeerHello, peerHelloLen, len(p))
+	}
+	return PeerHello{
+		Version:   binary.LittleEndian.Uint16(p),
+		Shard:     binary.LittleEndian.Uint32(p[2:]),
+		NumShards: binary.LittleEndian.Uint32(p[6:]),
+		Epoch:     binary.LittleEndian.Uint64(p[10:]),
+	}, nil
+}
+
+// PriceDigest is a decoded boundary-load digest. Like RateBatch it aliases
+// the frame payload: it is only valid until the underlying buffer is reused,
+// and Entry decodes in place without allocating.
+type PriceDigest struct {
+	// Seq is the sender's iteration counter when the digest was taken.
+	Seq uint64
+	// Shard is the sending shard's index.
+	Shard   uint32
+	entries []byte
+}
+
+// DecodePriceDigest decodes a PriceDigest payload.
+func DecodePriceDigest(p []byte) (PriceDigest, error) {
+	if len(p) < digestHdrLen {
+		return PriceDigest{}, fmt.Errorf("wire: price-digest payload must be at least %d bytes, got %d", digestHdrLen, len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[12:])
+	if want := digestHdrLen + int(count)*digestEntryLen; len(p) != want {
+		return PriceDigest{}, fmt.Errorf("wire: price-digest declares %d entries (%d bytes), got %d bytes", count, want, len(p))
+	}
+	return PriceDigest{
+		Seq:     binary.LittleEndian.Uint64(p),
+		Shard:   binary.LittleEndian.Uint32(p[8:]),
+		entries: p[digestHdrLen:],
+	}, nil
+}
+
+// Len returns the number of entries in the digest.
+func (d PriceDigest) Len() int { return len(d.entries) / digestEntryLen }
+
+// Entry decodes entry i.
+func (d PriceDigest) Entry(i int) DigestEntry {
+	p := d.entries[i*digestEntryLen:]
+	return DigestEntry{
+		Link:  binary.LittleEndian.Uint32(p),
+		Load:  math.Float64frombits(binary.LittleEndian.Uint64(p[4:])),
+		Hdiag: math.Float64frombits(binary.LittleEndian.Uint64(p[12:])),
+	}
+}
+
+// PriceSnapshot is a decoded boundary-price snapshot. It aliases the frame
+// payload like PriceDigest.
+type PriceSnapshot struct {
+	// Epoch is the sender's allocator epoch; receivers drop snapshots from
+	// an epoch older than the one the peer session advertised.
+	Epoch uint64
+	// Seq is the sender's iteration counter when the snapshot was taken.
+	Seq uint64
+	// Shard is the sending shard's index.
+	Shard   uint32
+	entries []byte
+}
+
+// DecodePriceSnapshot decodes a PriceSnapshot payload.
+func DecodePriceSnapshot(p []byte) (PriceSnapshot, error) {
+	if len(p) < snapHdrLen {
+		return PriceSnapshot{}, fmt.Errorf("wire: price-snapshot payload must be at least %d bytes, got %d", snapHdrLen, len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[20:])
+	if want := snapHdrLen + int(count)*snapEntryLen; len(p) != want {
+		return PriceSnapshot{}, fmt.Errorf("wire: price-snapshot declares %d entries (%d bytes), got %d bytes", count, want, len(p))
+	}
+	return PriceSnapshot{
+		Epoch:   binary.LittleEndian.Uint64(p),
+		Seq:     binary.LittleEndian.Uint64(p[8:]),
+		Shard:   binary.LittleEndian.Uint32(p[16:]),
+		entries: p[snapHdrLen:],
+	}, nil
+}
+
+// Len returns the number of entries in the snapshot.
+func (s PriceSnapshot) Len() int { return len(s.entries) / snapEntryLen }
+
+// Entry decodes entry i.
+func (s PriceSnapshot) Entry(i int) SnapshotEntry {
+	p := s.entries[i*snapEntryLen:]
+	return SnapshotEntry{
+		Link:  binary.LittleEndian.Uint32(p),
+		Price: math.Float64frombits(binary.LittleEndian.Uint64(p[4:])),
+	}
+}
+
+// DecodeExchangeAck decodes an ExchangeAck payload and returns the echoed
+// sequence number.
+func DecodeExchangeAck(p []byte) (uint64, error) {
+	if len(p) != ackLen {
+		return 0, payloadErr(TypeExchangeAck, ackLen, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
 // ---------------------------------------------------------------------------
 // Framing.
 
 // ErrShortFrame reports that a buffer ends mid-frame.
 var ErrShortFrame = fmt.Errorf("wire: short frame")
 
-// validTypes is the highest frame type of this protocol version.
-const maxMsgType = TypeRateBatch
+// maxMsgType is the highest frame type of this protocol version.
+const maxMsgType = TypeExchangeAck
 
 // ParseFrame splits one frame off the front of buf. It returns the frame
 // type, its payload (aliasing buf), and the remaining bytes. A buffer ending
