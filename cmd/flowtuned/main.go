@@ -12,9 +12,20 @@
 // A cluster of daemons shares the fabric with -shard i/N: each daemon owns
 // shard i of an N-way rack partition, accepts only flowlets sourced in its
 // racks, and exchanges boundary prices with the peer daemons listed in
-// -peers (dialed with retry, so start order does not matter). Per-session
-// hardening is configured with -max-session-flows, -max-frame-rate and
-// -idle-timeout.
+// -peers (dialed with bounded exponential backoff, so start order does not
+// matter). With -takeover the peers also replicate flow state to each other
+// and adopt a dead daemon's rack block. Per-session hardening is configured
+// with -max-session-flows, -max-frame-rate and -idle-timeout.
+//
+// SIGINT/SIGTERM triggers a graceful drain: the daemon stops admitting new
+// flowlets, finishes the in-flight exchange fan-out, pushes a final
+// drain-flagged epoch notification so clients freeze at their last rates,
+// and — when -snapshot names a file — persists its flow state for a warm
+// restart (-drain-timeout bounds the wait; a second signal exits
+// immediately). A daemon started with -snapshot pointing at an existing
+// file re-seeds its registry and prices from it before listening, so
+// returning clients re-attach to live allocations instead of re-registering
+// from scratch.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/topology"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -57,6 +69,10 @@ func run(args []string, out io.Writer) error {
 	blocks := fs.Int("blocks", 0, "rack blocks for the multicore engine (0 = sequential)")
 	shard := fs.String("shard", "", "shard assignment i/N: own shard i of an N-way rack partition (empty = unsharded)")
 	peers := fs.String("peers", "", "comma-separated addresses of the peer shard daemons, dialed with retry")
+	takeover := fs.Bool("takeover", false, "replicate flow state to peers and adopt a dead peer's rack block (requires -shard)")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", 0, "declare a silent peer dead after this long (0 = exchange-failure detection only)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "max wait for the in-flight fan-out during graceful shutdown")
+	snapshot := fs.String("snapshot", "", "flow-state snapshot file: restored on start if present, written on graceful shutdown")
 	maxSessionFlows := fs.Int("max-session-flows", 0, "max live flowlets per session (0 = unlimited)")
 	maxFrameRate := fs.Float64("max-frame-rate", 0, "max frames/s per session before disconnect (0 = unlimited)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "disconnect sessions idle this long (0 = never)")
@@ -84,18 +100,23 @@ func run(args []string, out io.Writer) error {
 	if *peers != "" && numShards == 0 {
 		return fmt.Errorf("flowtuned: -peers requires -shard")
 	}
+	if *takeover && numShards == 0 {
+		return fmt.Errorf("flowtuned: -takeover requires -shard")
+	}
 	cfg := server.Config{
-		Topology:        topo,
-		Gamma:           *gamma,
-		UpdateThreshold: *threshold,
-		Interval:        *interval,
-		Blocks:          *blocks,
-		Epoch:           *epoch,
-		MaxSessionFlows: *maxSessionFlows,
-		MaxFrameRate:    *maxFrameRate,
-		IdleTimeout:     *idleTimeout,
-		ShardIndex:      shardIndex,
-		NumShards:       numShards,
+		Topology:         topo,
+		Gamma:            *gamma,
+		UpdateThreshold:  *threshold,
+		Interval:         *interval,
+		Blocks:           *blocks,
+		Epoch:            *epoch,
+		MaxSessionFlows:  *maxSessionFlows,
+		MaxFrameRate:     *maxFrameRate,
+		IdleTimeout:      *idleTimeout,
+		ShardIndex:       shardIndex,
+		NumShards:        numShards,
+		Takeover:         *takeover,
+		HeartbeatTimeout: *heartbeatTimeout,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(out, "flowtuned: "+format+"\n", args...) }
@@ -105,6 +126,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer srv.Close()
+
+	if *snapshot != "" {
+		snap, err := os.ReadFile(*snapshot)
+		switch {
+		case err == nil:
+			if err := srv.Restore(snap); err != nil {
+				return fmt.Errorf("flowtuned: restore %s: %w", *snapshot, err)
+			}
+			fmt.Fprintf(out, "flowtuned: restored %d flows from %s\n", srv.NumFlows(), *snapshot)
+		case os.IsNotExist(err):
+			// Cold start; the file is written on graceful shutdown.
+		default:
+			return fmt.Errorf("flowtuned: read snapshot: %w", err)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -145,11 +181,11 @@ func run(args []string, out io.Writer) error {
 	for {
 		select {
 		case s := <-sig:
-			fmt.Fprintf(out, "flowtuned: received %v, shutting down\n", s)
-			return nil
+			fmt.Fprintf(out, "flowtuned: received %v, draining (timeout %v; signal again to exit now)\n", s, *drainTimeout)
+			return gracefulShutdown(srv, *drainTimeout, *snapshot, out, sig)
 		case <-deadline:
 			fmt.Fprintf(out, "flowtuned: serve window elapsed, shutting down\n")
-			return nil
+			return gracefulShutdown(srv, *drainTimeout, *snapshot, out, sig)
 		case err := <-serveErr:
 			if err == net.ErrClosed {
 				return nil
@@ -159,6 +195,40 @@ func run(args []string, out io.Writer) error {
 			logStats(out, srv)
 		}
 	}
+}
+
+// gracefulShutdown drains the daemon — no new flowlets, in-flight fan-out
+// finished, clients frozen warm by a drain-flagged epoch notification — then
+// persists the final flow-state snapshot when snapPath is set. A second
+// signal during the drain aborts it and exits immediately.
+func gracefulShutdown(srv *server.Server, timeout time.Duration, snapPath string, out io.Writer, sig <-chan os.Signal) error {
+	type result struct {
+		snap []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		snap, err := srv.Shutdown(timeout)
+		done <- result{snap, err}
+	}()
+	var res result
+	select {
+	case res = <-done:
+	case s := <-sig:
+		fmt.Fprintf(out, "flowtuned: received %v again, exiting immediately\n", s)
+		return srv.Close()
+	}
+	if res.err != nil {
+		return res.err
+	}
+	if snapPath != "" {
+		if err := os.WriteFile(snapPath, res.snap, 0o644); err != nil {
+			return fmt.Errorf("flowtuned: write snapshot: %w", err)
+		}
+		fmt.Fprintf(out, "flowtuned: wrote flow-state snapshot to %s (%d bytes)\n", snapPath, len(res.snap))
+	}
+	fmt.Fprintf(out, "flowtuned: drained and shut down\n")
+	return nil
 }
 
 // engineName labels the configured engine for the startup line.
@@ -204,18 +274,21 @@ func parseShard(s string) (index, shards int, err error) {
 // maintainPeer keeps one peer connection alive for the daemon's lifetime:
 // it dials until the handshake succeeds (so cluster start order does not
 // matter), then watches for the connection being dropped — a peer restart,
-// a network failure, or an exchange timeout — and redials. Failures are
-// surfaced whenever their cause changes: a handshake *rejection*
-// (mismatched -shard count, protocol version) is a permanent
+// a network failure, or an exchange timeout — and redials. Retries back off
+// exponentially with jitter (capped at 2s) so a dead peer is not hammered
+// in lockstep by every survivor, and the schedule resets once a dial
+// succeeds. Failures are surfaced whenever their cause changes: a handshake
+// *rejection* (mismatched -shard count, protocol version) is a permanent
 // misconfiguration the operator must see, not a transient dial error to
 // retry silently.
 func maintainPeer(srv *server.Server, addr string, out io.Writer, stop <-chan struct{}) {
 	lastErr := ""
-	wait := func() bool {
+	redial := &transport.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	wait := func(d time.Duration) bool {
 		select {
 		case <-stop:
 			return false
-		case <-time.After(500 * time.Millisecond):
+		case <-time.After(d):
 			return true
 		}
 	}
@@ -230,15 +303,16 @@ func maintainPeer(srv *server.Server, addr string, out io.Writer, stop <-chan st
 				lastErr = msg
 				fmt.Fprintf(out, "flowtuned: peer %s: %v (retrying)\n", addr, err)
 			}
-			if !wait() {
+			if !wait(redial.Next()) {
 				return
 			}
 			continue
 		}
 		lastErr = ""
+		redial.Reset()
 		fmt.Fprintf(out, "flowtuned: peer %s connected\n", addr)
 		for srv.HasPeer(shard) {
-			if !wait() {
+			if !wait(500 * time.Millisecond) {
 				return
 			}
 		}

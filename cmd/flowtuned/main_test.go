@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -86,6 +89,99 @@ func TestDaemonServesClients(t *testing.T) {
 	}
 }
 
+// TestDaemonDrainSnapshotWarmRestart covers the survivable lifecycle end to
+// end: SIGTERM drains the daemon gracefully, the flow-state snapshot lands
+// in -snapshot, and a second daemon started from that file re-seeds its
+// registry so a returning client re-attaches to a live allocation.
+func TestDaemonDrainSnapshotWarmRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "flowtuned.snap")
+	common := []string{
+		"-listen", "127.0.0.1:0",
+		"-racks", "4", "-servers-per-rack", "4", "-spines", "2",
+		"-interval", "200us", "-stats-every", "0",
+		"-snapshot", snap,
+	}
+
+	var out1 syncBuffer
+	_, done1 := startShardDaemon(t, &out1, common...)
+	addr1 := listenRE.FindStringSubmatch(out1.String())[1]
+	cli, err := transport.DialAlloc(addr1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.FlowletStart(7, 0, 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Recv(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first SIGTERM drains; the still-connected session keeps its flow
+	// alive into the snapshot.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done1; err != nil {
+		t.Fatalf("drain: %v; output %q", err, out1.String())
+	}
+	if !strings.Contains(out1.String(), "wrote flow-state snapshot") {
+		t.Fatalf("no snapshot written; output %q", out1.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+
+	var out2 syncBuffer
+	_, done2 := startShardDaemon(t, &out2, append([]string{"-serve-for", "3s"}, common...)...)
+	addr2 := listenRE.FindStringSubmatch(out2.String())[1]
+	if !strings.Contains(out2.String(), "restored 1 flows from "+snap) {
+		t.Fatalf("warm restart did not restore the flow; output %q", out2.String())
+	}
+	// Re-registering the same flowlet adopts the restored, unowned entry in
+	// place. The restored allocation is already converged, so no update
+	// crosses the notification threshold until the allocation changes —
+	// a second flow on the same path shifts both rates and the adopted
+	// flow's new rate reaches the session.
+	cli2, err := transport.DialAlloc(addr2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if err := cli2.FlowletStart(7, 0, 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli2.FlowletStart(8, 0, 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rate7 := 0.0
+	for deadline := time.Now().Add(5 * time.Second); rate7 == 0 && time.Now().Before(deadline); {
+		ups, _, err := cli2.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range ups {
+			if u.Flow == 7 && u.Rate > 0 {
+				rate7 = u.Rate
+			}
+		}
+	}
+	if rate7 <= 0 {
+		t.Fatal("restarted daemon never sent a rate for the adopted flow 7")
+	}
+	cli2.Close()
+	if err := <-done2; err != nil {
+		t.Fatalf("restarted daemon: %v; output %q", err, out2.String())
+	}
+}
+
 // TestDaemonFlagErrors covers flag and topology validation.
 func TestDaemonFlagErrors(t *testing.T) {
 	var out syncBuffer
@@ -105,6 +201,9 @@ func TestDaemonFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-peers", "127.0.0.1:1", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
 		t.Error("-peers without -shard accepted")
+	}
+	if err := run([]string{"-takeover", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("-takeover without -shard accepted")
 	}
 	// 2 shards do not divide the default 9 racks.
 	if err := run([]string{"-shard", "0/2", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {

@@ -185,6 +185,14 @@ type LoopStats = metrics.LoopStats
 // Reconnect, which re-registers its live flowlets.
 var ErrEpochChanged = transport.ErrEpochChanged
 
+// ErrDaemonDraining reports that the daemon pushed a drain-flagged epoch
+// notification during graceful shutdown: no more rate updates are coming,
+// and the client should hold its last-known rates (the freeze-on-failure
+// behavior of AllocClient.SetFreezeOnFailure) until it fails over — via
+// ResumeReconnect onto a warm-restarted daemon, or ShardedClient.Failover
+// onto the peer that adopted the shard.
+var ErrDaemonDraining = transport.ErrDaemonDraining
+
 // ---------------------------------------------------------------------------
 // Sharded cluster
 

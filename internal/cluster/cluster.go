@@ -28,6 +28,12 @@ type Config struct {
 	MaxSessionFlows int
 	MaxFrameRate    float64
 	IdleTimeout     time.Duration
+	// Takeover enables peer shard failover on every daemon: each replicates
+	// its flow state to its successor and adopts a dead peer's rack block
+	// (see server.Config.Takeover). HeartbeatTimeout passes the free-running
+	// staleness bound through.
+	Takeover         bool
+	HeartbeatTimeout time.Duration
 	// Logf, when set, receives every daemon's log lines prefixed with its
 	// shard index.
 	Logf func(format string, args ...any)
@@ -65,17 +71,19 @@ func New(cfg Config) (*Cluster, error) {
 			}
 		}
 		srv, err := server.New(server.Config{
-			Topology:        cfg.Topology,
-			Gamma:           cfg.Gamma,
-			UpdateThreshold: cfg.UpdateThreshold,
-			Interval:        cfg.Interval,
-			Epoch:           cfg.Epoch,
-			MaxSessionFlows: cfg.MaxSessionFlows,
-			MaxFrameRate:    cfg.MaxFrameRate,
-			IdleTimeout:     cfg.IdleTimeout,
-			NumShards:       cfg.Shards,
-			ShardIndex:      i,
-			Logf:            logf,
+			Topology:         cfg.Topology,
+			Gamma:            cfg.Gamma,
+			UpdateThreshold:  cfg.UpdateThreshold,
+			Interval:         cfg.Interval,
+			Epoch:            cfg.Epoch,
+			MaxSessionFlows:  cfg.MaxSessionFlows,
+			MaxFrameRate:     cfg.MaxFrameRate,
+			IdleTimeout:      cfg.IdleTimeout,
+			NumShards:        cfg.Shards,
+			ShardIndex:       i,
+			Takeover:         cfg.Takeover,
+			HeartbeatTimeout: cfg.HeartbeatTimeout,
+			Logf:             logf,
 		})
 		if err != nil {
 			c.Close()
@@ -119,6 +127,11 @@ func (c *Cluster) Client(clientID uint64) (*transport.ShardedClient, error) {
 	}
 	return transport.NewShardedClient(conns, c.smap, clientID)
 }
+
+// Kill closes daemon i abruptly — no drain, no snapshot — simulating a
+// crashed shard. Its peers detect the death when their next exchange push
+// fails and, with Takeover enabled, the successor adopts its rack block.
+func (c *Cluster) Kill(i int) error { return c.servers[i].Close() }
 
 // Rates merges every shard's current rate map (a diagnostic mirror of
 // server.Server.Rates; flow ownership makes the maps disjoint).

@@ -357,3 +357,103 @@ func TestShardedClientRoutingAndReconnect(t *testing.T) {
 		t.Fatalf("rates after reconnect: %v", rates)
 	}
 }
+
+// TestKillTakeoverFailover is the survivable-control-plane check at cluster
+// level: kill one daemon mid-run, the survivor adopts its rack block from the
+// replicated flow state, and the frozen client fails over onto it — with the
+// whole sequence deterministic run to run.
+func TestKillTakeoverFailover(t *testing.T) {
+	topo := testTopo(t)
+	runOnce := func() map[int64]float64 {
+		cl, err := New(Config{Topology: topo, Shards: 2, Takeover: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		cli, err := cl.Client(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		cli.SetFreezeOnFailure(true)
+
+		// Servers 0-7 are shard 0, 8-15 shard 1.
+		if err := cli.FlowletStart(1, 0, 9, 1); err != nil { // shard 0
+			t.Fatal(err)
+		}
+		if err := cli.FlowletStart(2, 9, 0, 1); err != nil { // shard 1
+			t.Fatal(err)
+		}
+		if err := cli.FlowletStart(3, 8, 15, 2); err != nil { // shard 1
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := cli.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cl.Kill(1)
+		// Freeze-on-failure: the dead shard's session freezes instead of
+		// failing the cluster step; the survivor detects the death at its
+		// exchange push and adopts at the next iteration boundary.
+		for i := 0; i < 4 && !cl.Server(0).ServesShard(1); i++ {
+			if _, err := cli.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !cl.Server(0).ServesShard(1) {
+			t.Fatal("survivor never adopted the dead shard")
+		}
+		if !cli.Frozen(1) {
+			t.Fatal("dead shard's session did not freeze")
+		}
+		if got := cl.Server(0).Stats().Takeovers; got != 1 {
+			t.Fatalf("Takeovers = %d, want 1", got)
+		}
+		// The replica seeded the dead daemon's flows into the survivor.
+		if got := cl.Server(0).NumFlows(); got != 3 {
+			t.Fatalf("survivor NumFlows = %d after adoption, want 3", got)
+		}
+
+		adopter := cli.Successor(1)
+		if adopter != 0 {
+			t.Fatalf("Successor(1) = %d, want 0", adopter)
+		}
+		if err := cli.Failover(1, adopter); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Step(); err != nil {
+			t.Fatal(err)
+		}
+		// The re-registrations were adopted in place: zero engine churn.
+		if got := cl.Server(0).Stats().AdoptedFlows; got != 2 {
+			t.Fatalf("AdoptedFlows = %d, want 2", got)
+		}
+		// New flows hashed to the dead daemon's shard route to the adopter.
+		if err := cli.FlowletStart(4, 10, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			if _, err := cli.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rates := cl.Rates()
+		for id := int64(1); id <= 4; id++ {
+			if rates[id] <= 0 {
+				t.Fatalf("flow %d not allocated after failover: %v", id, rates)
+			}
+		}
+		return rates
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("flow counts differ across runs: %d vs %d", len(a), len(b))
+	}
+	for id, ra := range a {
+		if rb := b[id]; rb != ra {
+			t.Fatalf("flow %d: run A %v != run B %v (failover not deterministic)", id, ra, rb)
+		}
+	}
+}

@@ -251,6 +251,20 @@ func (a *Allocator) HasFlow(id FlowID) bool {
 	return ok
 }
 
+// LiveFlows returns the registered flowlets in the allocator's internal
+// order — the canonical order rates are reported in. Replaying the result
+// through FlowletStart on a fresh allocator with the same configuration
+// reproduces this allocator's flow and CSR layout exactly, which is what
+// flow-state snapshots and shard takeover rely on (see internal/server).
+// The record type is shared with ParallelAllocator.LiveFlows.
+func (a *Allocator) LiveFlows() []ParallelFlow {
+	out := make([]ParallelFlow, len(a.flows))
+	for i, f := range a.flows {
+		out[i] = ParallelFlow{ID: f.id, Src: f.src, Dst: f.dst, Weight: f.weight}
+	}
+	return out
+}
+
 // Fail simulates an allocator failure (§2, fault tolerance): the allocator
 // stops iterating and produces no updates until Recover is called. Endpoints
 // keep their previously allocated rates and fall back to their own congestion

@@ -86,3 +86,29 @@ func (a *Allocator) LinkPrices(links []topology.LinkID, prices []float64) {
 		prices[i] = a.state.Prices[l]
 	}
 }
+
+// SeedPrices sets the current price of each link without pinning it: the next
+// price update starts from the seeded values and evolves them locally. It is
+// the warm-restart half of the snapshot protocol — a restarted (or adopting)
+// daemon seeds the saved prices so its first iteration continues the dual
+// ascent instead of restarting from zero, but keeps the links under local
+// control.
+func (a *Allocator) SeedPrices(links []topology.LinkID, prices []float64) {
+	for i, l := range links {
+		a.state.Prices[l] = prices[i]
+	}
+}
+
+// UnpinPrices returns the given links to local control, undoing PinPrices.
+// The last pinned price remains as the starting value (like SeedPrices); it
+// is simply no longer re-imposed after local price updates. An allocator that
+// adopts a dead peer's links calls this so the adopted boundary is priced by
+// its own solver from then on.
+func (a *Allocator) UnpinPrices(links []topology.LinkID) {
+	if a.problem.PinnedPrices == nil {
+		return
+	}
+	for _, l := range links {
+		a.problem.PinnedPrices[l] = -1
+	}
+}

@@ -164,3 +164,105 @@ func TestPinPricesAppliesImmediately(t *testing.T) {
 		t.Fatalf("raw rate %g exceeds w/pinned-price %g", raw, w/40)
 	}
 }
+
+// TestUnpinPricesReturnsLinkToLocalControl verifies an unpinned link keeps
+// the last imported price as a starting point but evolves under local
+// updates afterwards — the adopting daemon's seeding semantics.
+func TestUnpinPricesReturnsLinkToLocalControl(t *testing.T) {
+	topo := boundaryTopo(t)
+	a, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FlowletStart(1, 0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	route, err := topo.Route(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := []topology.LinkID{route[len(route)-1]}
+	prices := make([]float64, 1)
+
+	// Pinned: the price survives iterations verbatim.
+	a.PinPrices(down, []float64{40})
+	a.Iterate()
+	a.LinkPrices(down, prices)
+	if prices[0] != 40 {
+		t.Fatalf("pinned price = %g, want 40", prices[0])
+	}
+	// Unpinned: one lone flow cannot justify a price of 40 on a 10 Gb/s
+	// link, so local updates pull it down.
+	a.UnpinPrices(down)
+	for i := 0; i < 50; i++ {
+		a.Iterate()
+	}
+	a.LinkPrices(down, prices)
+	if prices[0] >= 40 {
+		t.Fatalf("price after unpinning = %g, want < 40 (local control)", prices[0])
+	}
+	// UnpinPrices before any PinPrices is a no-op, not a panic.
+	fresh, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.UnpinPrices(down)
+}
+
+// TestSeedPricesWarmRestartByteEquivalence is the core of the daemon's warm
+// restart: replaying LiveFlows in order and seeding LinkPrices onto a fresh
+// allocator makes every subsequent iteration produce bit-identical rates,
+// because NED rates are a pure function of prices and flow order.
+func TestSeedPricesWarmRestartByteEquivalence(t *testing.T) {
+	topo := boundaryTopo(t)
+	orig, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []struct {
+		id       FlowID
+		src, dst int
+		w        float64
+	}{{1, 0, 3, 1}, {2, 1, 2, 2}, {3, 2, 0, 1}, {4, 3, 1, 0.5}}
+	for _, f := range flows {
+		if err := orig.FlowletStart(f.id, f.src, f.dst, f.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 37; i++ {
+		orig.Iterate()
+	}
+
+	// Snapshot: live flows in canonical order + all link prices.
+	live := orig.LiveFlows()
+	links := make([]topology.LinkID, topo.NumLinks())
+	for i := range links {
+		links[i] = topology.LinkID(i)
+	}
+	prices := make([]float64, len(links))
+	orig.LinkPrices(links, prices)
+
+	// Restore onto a fresh allocator.
+	warm, err := NewAllocator(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range live {
+		if err := warm.FlowletStart(f.ID, f.Src, f.Dst, f.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm.SeedPrices(links, prices)
+
+	// Both must now produce bit-identical rates forever.
+	for i := 0; i < 20; i++ {
+		orig.Iterate()
+		warm.Iterate()
+		ro, rw := orig.RawRates(), warm.RawRates()
+		for id, r := range ro {
+			if rw[id] != r {
+				t.Fatalf("iter %d flow %d: warm rate %v != original %v", i, id, rw[id], r)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// chaosBackend wraps a sharded cluster's client as the engine's allocator
+// backend and injects one daemon failure mid-run. It counts allocator steps;
+// at the configured step it kills the victim daemon abruptly (no drain, no
+// snapshot — the hard case), then shepherds the recovery the survivable
+// control plane provides:
+//
+//  1. the victim's session freezes at last-known rates (freeze-on-failure),
+//  2. the successor daemon detects the death at its next exchange push and
+//     adopts the orphaned rack block from the replicated flow state,
+//  3. once the adopter serves the victim's shard, the client fails over —
+//     re-registering the orphaned flows as bare adds that the adopter's
+//     adoption path claims without engine churn.
+//
+// Every transition happens at an allocator step boundary, so the injection
+// is as deterministic as the rest of the run.
+type chaosBackend struct {
+	cli      *transport.ShardedClient
+	cl       *cluster.Cluster
+	killStep int
+	victim   int
+
+	steps      int
+	killed     bool
+	failedOver bool
+	stats      ChaosStats
+}
+
+func newChaosBackend(cli *transport.ShardedClient, cl *cluster.Cluster, killStep, victim int) *chaosBackend {
+	cli.SetFreezeOnFailure(true)
+	return &chaosBackend{cli: cli, cl: cl, killStep: killStep, victim: victim}
+}
+
+func (b *chaosBackend) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	return b.cli.FlowletStart(id, src, dst, weight)
+}
+
+func (b *chaosBackend) FlowletEnd(id core.FlowID) error { return b.cli.FlowletEnd(id) }
+
+func (b *chaosBackend) Step() ([]core.RateUpdate, error) {
+	b.steps++
+	if !b.killed && b.steps >= b.killStep {
+		if err := b.cl.Kill(b.victim); err != nil {
+			return nil, fmt.Errorf("chaos: kill shard %d: %w", b.victim, err)
+		}
+		b.killed = true
+		b.stats.KilledShard = b.victim
+		b.stats.KillStep = b.steps
+	}
+	ups, err := b.cli.Step()
+	if err != nil {
+		return ups, err
+	}
+	if b.killed && !b.failedOver {
+		b.stats.RecoverySteps++
+		adopter := b.cli.Successor(b.victim)
+		if adopter >= 0 && b.cl.Server(adopter).ServesShard(b.victim) {
+			if err := b.cli.Failover(b.victim, adopter); err != nil {
+				return nil, fmt.Errorf("chaos: failover %d→%d: %w", b.victim, adopter, err)
+			}
+			b.failedOver = true
+			b.stats.AdopterShard = adopter
+		}
+	}
+	return ups, nil
+}
+
+// finish fills the post-run counters and validates the injection happened.
+func (b *chaosBackend) finish() (*ChaosStats, error) {
+	if !b.killed {
+		return nil, fmt.Errorf("chaos: run ended before kill step %d (only %d allocator steps)", b.killStep, b.steps)
+	}
+	if !b.failedOver {
+		return nil, fmt.Errorf("chaos: client never failed over (%d steps since kill)", b.stats.RecoverySteps)
+	}
+	st := b.cl.Server(b.stats.AdopterShard).Stats()
+	b.stats.AdoptedFlows = st.AdoptedFlows
+	b.stats.Takeovers = st.Takeovers
+	return &b.stats, nil
+}

@@ -84,6 +84,19 @@ type ScenarioConfig struct {
 	// fabric's rack count. Runs stay deterministic: shards are stepped in
 	// order and every exchange push is delivery-acknowledged.
 	Shards int
+	// ChaosKillStep, when > 0, kills one daemon of the sharded cluster at
+	// that allocator step (1-based), exercising the survivable control
+	// plane mid-run: the cluster runs with peer takeover enabled, the
+	// endpoint client freezes the dead shard at last-known rates, the
+	// successor daemon adopts the orphaned rack block from the replicated
+	// flow state, and the client fails over onto it. Requires Shards > 1.
+	// The injection is deterministic — the kill lands at a fixed step and
+	// every recovery transition happens at an iteration boundary — so
+	// chaos runs are byte-reproducible like every other scenario.
+	ChaosKillStep int
+	// ChaosKillShard selects the daemon to kill (default: the last shard,
+	// so shard 0 — the successor ring's wrap target — adopts it).
+	ChaosKillShard int
 }
 
 // withDefaults fills unset scenario fields.
@@ -175,6 +188,26 @@ type ScenarioResult struct {
 	// Fabric-level counters over the whole run (including warmup).
 	DroppedBytes int64 `json:"dropped_bytes"`
 	ControlBytes int64 `json:"control_bytes"`
+	// Chaos summarizes the failover injection of a chaos scenario; nil
+	// (omitted) for ordinary runs, so their baselines are unaffected.
+	Chaos *ChaosStats `json:"chaos,omitempty"`
+}
+
+// ChaosStats is the recovery accounting of one chaos-failover injection.
+type ChaosStats struct {
+	// KilledShard is the daemon killed, at allocator step KillStep.
+	KilledShard int `json:"killed_shard"`
+	KillStep    int `json:"kill_step"`
+	// AdopterShard is the surviving daemon that adopted the rack block.
+	AdopterShard int `json:"adopter_shard"`
+	// RecoverySteps counts allocator steps from the kill until the
+	// endpoint client completed its failover onto the adopter — the
+	// window during which the dead shard's flows ran at frozen rates.
+	RecoverySteps int `json:"recovery_steps"`
+	// AdoptedFlows and Takeovers mirror the adopter daemon's counters:
+	// flows re-claimed without engine churn, and rack blocks adopted.
+	AdoptedFlows int64 `json:"adopted_flows"`
+	Takeovers    int64 `json:"takeovers"`
 }
 
 // ScenarioResultSchema identifies the current BENCH_*.json layout.
@@ -198,6 +231,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.Shards > 1 && !cfg.Daemon {
 		return nil, fmt.Errorf("experiments: scenario %s: Shards requires Daemon mode", cfg.Name)
 	}
+	if cfg.ChaosKillStep > 0 && cfg.Shards <= 1 {
+		return nil, fmt.Errorf("experiments: scenario %s: ChaosKillStep requires Shards > 1", cfg.Name)
+	}
+	var chaos *chaosBackend
 	if cfg.Daemon {
 		if cfg.Scheme != transport.Flowtune {
 			return nil, fmt.Errorf("experiments: scenario %s: Daemon requires the Flowtune scheme, got %s", cfg.Name, cfg.Scheme)
@@ -207,7 +244,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			// daemons: the trace's flowlets are hashed to their owning
 			// shards, rate updates are merged back, and boundary prices
 			// are exchanged between the daemons at every tick.
-			cl, err := cluster.New(cluster.Config{Topology: topo, Shards: cfg.Shards})
+			clCfg := cluster.Config{Topology: topo, Shards: cfg.Shards}
+			if cfg.ChaosKillStep > 0 {
+				// A chaos run needs peers that detect the kill and adopt
+				// the orphaned rack block.
+				clCfg.Takeover = true
+			}
+			cl, err := cluster.New(clCfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 			}
@@ -218,6 +261,17 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 			defer cli.Close()
 			engCfg.ExternalAllocator = cli
+			if cfg.ChaosKillStep > 0 {
+				victim := cfg.ChaosKillShard
+				if victim == 0 {
+					victim = cfg.Shards - 1
+				}
+				if victim < 0 || victim >= cfg.Shards {
+					return nil, fmt.Errorf("experiments: scenario %s: ChaosKillShard %d out of range", cfg.Name, victim)
+				}
+				chaos = newChaosBackend(cli, cl, cfg.ChaosKillStep, victim)
+				engCfg.ExternalAllocator = chaos
+			}
 		} else {
 			// Host the allocator in a step-driven flowtuned daemon reached
 			// over an in-memory pipe: flowlet notifications and rate updates
@@ -296,6 +350,14 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, fmt.Errorf("experiments: scenario %s: control plane: %w", cfg.Name, err)
 	}
 
+	var chaosStats *ChaosStats
+	if chaos != nil {
+		chaosStats, err = chaos.finish()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+		}
+	}
+
 	res := &ScenarioResult{
 		Schema:   ScenarioResultSchema,
 		Name:     cfg.Name,
@@ -309,6 +371,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		Seed:     cfg.Seed,
 		Warmup:   cfg.Warmup,
 		Duration: cfg.Duration,
+		Chaos:    chaosStats,
 	}
 
 	// Statistics over flows that arrived after warmup.
@@ -365,6 +428,11 @@ func (r *ScenarioResult) Render() string {
 		r.FCTSeconds.P50*1e6, r.FCTSeconds.P99*1e6, r.NormFCT.P50, r.NormFCT.P99)
 	fmt.Fprintf(&b, "  goodput %s (%.1f%% of aggregate capacity), dropped %d bytes\n",
 		metrics.FormatRate(r.GoodputBps), 100*r.AchievedLoad, r.DroppedBytes)
+	if r.Chaos != nil {
+		fmt.Fprintf(&b, "  chaos: killed shard %d at step %d, shard %d adopted %d flows in %d steps (%d takeover)\n",
+			r.Chaos.KilledShard, r.Chaos.KillStep, r.Chaos.AdopterShard,
+			r.Chaos.AdoptedFlows, r.Chaos.RecoverySteps, r.Chaos.Takeovers)
+	}
 	return b.String()
 }
 
@@ -483,6 +551,24 @@ var namedScenarios = map[string]scenarioSpec{
 			cfg.Shards = 3
 			if short {
 				cfg.Shards = 2
+			}
+			return cfg
+		},
+	},
+	"chaos-failover": {
+		about: "sharded-incast with one daemon killed mid-measurement and its rack block adopted by a peer",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "chaos-failover"
+			cfg.Daemon = true
+			cfg.Shards = 3
+			// Kill the last daemon halfway through the measurement window
+			// (each allocator step is 10 µs). Warmup ends at step 100 full,
+			// step 50 short.
+			cfg.ChaosKillStep = 300
+			if short {
+				cfg.Shards = 2
+				cfg.ChaosKillStep = 100
 			}
 			return cfg
 		},

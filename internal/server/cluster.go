@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -40,18 +41,40 @@ type exchanger interface {
 	PinPrices(links []topology.LinkID, prices []float64)
 	BoundaryDigest(links []topology.LinkID, loads, hdiag []float64) error
 	LinkPrices(links []topology.LinkID, prices []float64)
+	SeedPrices(links []topology.LinkID, prices []float64)
+	UnpinPrices(links []topology.LinkID)
 }
 
 // exchangeMsg is one inbound peer frame waiting for the next iteration
 // boundary. For a digest, vals/hdiag are the load/sensitivity entries; for a
-// snapshot, vals holds prices and hdiag is nil.
+// snapshot, vals holds prices and hdiag is nil; for a takeover announcement,
+// from is the adopter and dead the adopted daemon.
 type exchangeMsg struct {
 	from     uint32
 	seq      uint64
 	snapshot bool
+	takeover bool
+	dead     uint32
 	links    []int32
 	vals     []float64
 	hdiag    []float64
+}
+
+// replicaState is the latest flow-state replica received from one peer
+// daemon: the flows it was serving, reassembled from FlowState chunks.
+type replicaState struct {
+	seq   uint64
+	epoch uint64
+	flows []wire.FlowStateEntry
+}
+
+// snapRecord retains the latest accepted PriceSnapshot from one peer daemon
+// (the prices of the links it serves), so its successor can seed them when
+// adopting.
+type snapRecord struct {
+	seq    uint64
+	links  []topology.LinkID
+	prices []float64
 }
 
 // peerConn is one outbound shard-to-shard connection; this daemon pushes its
@@ -80,11 +103,34 @@ type shardState struct {
 	index    int
 	ex       exchanger
 	numLinks int
+	takeover bool
+	interval time.Duration
+	hbGrace  time.Duration
 
-	// boundary lists this shard's downward links; posOf maps a LinkID to
-	// its position in boundary (-1 otherwise).
+	// servedBy[x] is the daemon currently serving shard x's rack block:
+	// initially the identity, re-pointed by takeovers. Every ownership
+	// decision — flow admission, digest targeting, snapshot acceptance —
+	// routes through it. Guarded by the server mutex.
+	servedBy []int32
+	// deadDaemons marks daemons known to be dead (adopted or announced).
+	// Guarded by the server mutex.
+	deadDaemons map[int]bool
+
+	// boundary lists the downward links of every shard this daemon serves;
+	// posOf maps a LinkID to its position in boundary (-1 otherwise).
 	boundary []topology.LinkID
 	posOf    []int32
+	// remoteLinks caches, per peer daemon, the boundary links of the shards
+	// it serves (the digest target set); invalidated on takeover.
+	remoteLinks map[int][]topology.LinkID
+
+	// lastSnap retains each peer daemon's latest accepted prices for
+	// adoption seeding. Guarded by the server mutex (written at fold).
+	lastSnap map[uint32]*snapRecord
+
+	// announce holds takeover announcements awaiting inclusion in the next
+	// exchange bundle. Guarded by the server mutex.
+	announce []wire.Takeover
 
 	// Latest digest from each peer, dense over boundary; extLoad/extHdiag
 	// are the sums handed to the engine after each fold.
@@ -102,10 +148,18 @@ type shardState struct {
 	peers map[int]*peerConn
 
 	// inMu guards pending, the inbound messages awaiting fold; drain is
-	// the swap buffer that keeps free-running folds allocation-free.
+	// the swap buffer that keeps free-running folds allocation-free. It
+	// also guards the failover reception state below (written by peer
+	// reader goroutines and the push path).
 	inMu    sync.Mutex
 	pending []exchangeMsg
 	drain   []exchangeMsg
+	// replicas holds the latest flow-state replica per peer daemon;
+	// lastHeard the last time any frame arrived from it; deadPending the
+	// daemons detected dead and awaiting the next iteration boundary.
+	replicas    map[uint32]*replicaState
+	lastHeard   map[int]time.Time
+	deadPending []int
 
 	// Reused build/fold scratch.
 	digestLoads, digestHdiag, snapPrices []float64
@@ -128,15 +182,27 @@ func newShardState(cfg Config, eng engine) (*shardState, error) {
 		return nil, err
 	}
 	st := &shardState{
-		smap:      smap,
-		index:     cfg.ShardIndex,
-		ex:        ex,
-		numLinks:  cfg.Topology.NumLinks(),
-		boundary:  smap.BoundaryLinks(cfg.ShardIndex),
-		posOf:     make([]int32, cfg.Topology.NumLinks()),
-		peerLoad:  make(map[uint32][]float64),
-		peerHdiag: make(map[uint32][]float64),
-		peers:     make(map[int]*peerConn),
+		smap:        smap,
+		index:       cfg.ShardIndex,
+		ex:          ex,
+		numLinks:    cfg.Topology.NumLinks(),
+		takeover:    cfg.Takeover,
+		interval:    cfg.Interval,
+		hbGrace:     cfg.HeartbeatTimeout,
+		servedBy:    make([]int32, cfg.NumShards),
+		deadDaemons: make(map[int]bool),
+		boundary:    smap.BoundaryLinks(cfg.ShardIndex),
+		posOf:       make([]int32, cfg.Topology.NumLinks()),
+		remoteLinks: make(map[int][]topology.LinkID),
+		lastSnap:    make(map[uint32]*snapRecord),
+		peerLoad:    make(map[uint32][]float64),
+		peerHdiag:   make(map[uint32][]float64),
+		peers:       make(map[int]*peerConn),
+		replicas:    make(map[uint32]*replicaState),
+		lastHeard:   make(map[int]time.Time),
+	}
+	for i := range st.servedBy {
+		st.servedBy[i] = int32(i)
 	}
 	for i := range st.posOf {
 		st.posOf[i] = -1
@@ -150,14 +216,78 @@ func newShardState(cfg Config, eng engine) (*shardState, error) {
 	return st, nil
 }
 
-// ownsFlow reports whether a flowlet from src belongs to this shard.
-// Out-of-range servers pass through so the engine rejects them with its own
-// clearer error.
+// ownsFlow reports whether a flowlet from src belongs to a shard this daemon
+// currently serves (its own, plus any adopted by takeover). Out-of-range
+// servers pass through so the engine rejects them with its own clearer
+// error. Called with the server mutex held.
 func (st *shardState) ownsFlow(src, dst int) bool {
 	if src < 0 || src >= st.smap.Topology().NumServers() {
 		return true
 	}
-	return st.smap.ShardOfFlow(src, dst) == st.index
+	return st.servedBy[st.smap.ShardOfFlow(src, dst)] == int32(st.index)
+}
+
+// servesLink reports whether the daemon currently serving the shard that
+// owns link l is daemon `from` — the snapshot-acceptance rule. Called with
+// the server mutex held.
+func (st *shardState) servesLink(l topology.LinkID, from uint32) bool {
+	owner := st.smap.OwnerOfLink(l)
+	return owner >= 0 && st.servedBy[owner] == int32(from)
+}
+
+// successorOf returns the daemon that should adopt dead's rack block: the
+// next index after dead, skipping daemons already known dead. Every
+// surviving daemon computes the same answer from the same death knowledge,
+// so exactly one adopts. Called with the server mutex held.
+func (st *shardState) successorOf(dead int) int {
+	n := st.smap.NumShards()
+	for i := 1; i < n; i++ {
+		c := (dead + i) % n
+		if c == st.index {
+			return c
+		}
+		if !st.deadDaemons[c] && c != dead {
+			return c
+		}
+	}
+	return st.index
+}
+
+// noteDead queues a daemon for death processing at the next iteration
+// boundary. Safe without the server mutex (inMu-guarded).
+func (st *shardState) noteDead(daemon int) {
+	st.inMu.Lock()
+	for _, d := range st.deadPending {
+		if d == daemon {
+			st.inMu.Unlock()
+			return
+		}
+	}
+	st.deadPending = append(st.deadPending, daemon)
+	st.inMu.Unlock()
+}
+
+// noteHeard stamps the liveness clock of a peer daemon.
+func (st *shardState) noteHeard(daemon int) {
+	st.inMu.Lock()
+	st.lastHeard[daemon] = time.Now()
+	st.inMu.Unlock()
+}
+
+// storeReplica folds one FlowState chunk into the replica held for a peer
+// daemon: a chunk with a new sequence number starts a fresh replica, further
+// chunks with the same sequence append (frames arrive in order).
+func (st *shardState) storeReplica(fs wire.FlowState) {
+	st.inMu.Lock()
+	rep := st.replicas[fs.Shard]
+	if rep == nil || rep.seq != fs.Seq || rep.epoch != fs.Epoch {
+		rep = &replicaState{seq: fs.Seq, epoch: fs.Epoch}
+		st.replicas[fs.Shard] = rep
+	}
+	for i := 0; i < fs.Len(); i++ {
+		rep.flows = append(rep.flows, fs.Entry(i))
+	}
+	st.inMu.Unlock()
 }
 
 // peerContrib returns (allocating on first use) the dense contribution
@@ -318,8 +448,21 @@ func (s *Server) buildExchangeLocked(seq uint64) []*peerConn {
 
 	st.ex.LinkPrices(st.boundary, st.snapPrices)
 	epoch := s.Epoch()
+	// Takeover mode: replicate this daemon's live flows to its successor in
+	// every bundle, so the successor always holds the state it would need to
+	// adopt; announcements of completed takeovers ride in every bundle once.
+	var replica []core.ParallelFlow
+	successor := -1
+	if st.takeover {
+		if sn, ok := s.eng.(snapshotter); ok {
+			replica = sn.LiveFlows()
+			successor = st.successorOf(st.index)
+		}
+	}
+	announce := st.announce
+	st.announce = nil
 	for _, pc := range peers {
-		remote := st.smap.BoundaryLinks(pc.shard)
+		remote := st.remoteLinksFor(pc.shard)
 		if cap(st.digestLoads) < len(remote) {
 			st.digestLoads = make([]float64, len(remote))
 			st.digestHdiag = make([]float64, len(remote))
@@ -340,8 +483,31 @@ func (s *Server) buildExchangeLocked(seq uint64) []*peerConn {
 				})
 			}
 		}
+		if st.takeover {
+			buf = wire.AppendHeartbeat(buf, wire.Heartbeat{Seq: seq, Shard: uint32(st.index)})
+		}
+		for _, t := range announce {
+			t.Epoch, t.Seq = epoch, seq
+			buf = wire.AppendTakeover(buf, t)
+		}
+		if pc.shard == successor {
+			for start := 0; start < len(replica) || start == 0; start += wire.MaxFlowStateEntries {
+				end := min(start+wire.MaxFlowStateEntries, len(replica))
+				buf = wire.AppendFlowStateHeader(buf, epoch, seq, uint32(st.index), end-start)
+				for _, f := range replica[start:end] {
+					buf = wire.AppendFlowStateEntry(buf, wire.FlowStateEntry{
+						Flow: int64(f.ID), Src: int32(f.Src), Dst: int32(f.Dst), Weight: f.Weight,
+					})
+				}
+				if end == len(replica) {
+					break
+				}
+			}
+		}
 		// The receiver acks every snapshot chunk, so count the chunks this
-		// bundle will produce for sendExchange to await.
+		// bundle will produce for sendExchange to await. Snapshot chunks go
+		// last: their acks therefore confirm delivery of the whole bundle,
+		// including any replica and takeover frames written above.
 		pc.acks = 0
 		for start := 0; start < len(st.boundary); start += wire.MaxSnapshotEntries {
 			end := min(start+wire.MaxSnapshotEntries, len(st.boundary))
@@ -357,6 +523,24 @@ func (s *Server) buildExchangeLocked(seq uint64) []*peerConn {
 		pc.seq = seq
 	}
 	return peers
+}
+
+// remoteLinksFor returns the boundary links of every shard a peer daemon
+// currently serves — the links a digest pushed to it must cover. Called with
+// the server mutex held; the cache is invalidated when takeovers re-point
+// servedBy.
+func (st *shardState) remoteLinksFor(daemon int) []topology.LinkID {
+	if links, ok := st.remoteLinks[daemon]; ok {
+		return links
+	}
+	var links []topology.LinkID
+	for x := 0; x < st.smap.NumShards(); x++ {
+		if st.servedBy[x] == int32(daemon) {
+			links = append(links, st.smap.BoundaryLinks(x)...)
+		}
+	}
+	st.remoteLinks[daemon] = links
+	return links
 }
 
 // sendExchange pushes the prepared bundles and waits for each peer's ack
@@ -407,7 +591,12 @@ func (s *Server) pushBundle(pc *peerConn) error {
 	return nil
 }
 
-// dropPeer detaches a failed outbound peer connection.
+// dropPeer detaches a failed outbound peer connection. With takeover
+// enabled a failed push is the death signal: the peer is queued for
+// processing at the next iteration boundary, where this daemon either
+// adopts its rack block (if it is the successor) or just records the death.
+// Keeping detection on the synchronous push path — never on asynchronous
+// inbound EOFs — is what keeps step-driven cluster runs deterministic.
 func (s *Server) dropPeer(pc *peerConn, err error) {
 	st := s.shard
 	st.pmu.Lock()
@@ -416,8 +605,12 @@ func (s *Server) dropPeer(pc *peerConn, err error) {
 	}
 	st.pmu.Unlock()
 	pc.conn.Close()
-	if !s.isClosed() {
-		s.logf("peer shard %d dropped: %v", pc.shard, err)
+	if s.isClosed() {
+		return
+	}
+	s.logf("peer shard %d dropped: %v", pc.shard, err)
+	if st.takeover {
+		st.noteDead(pc.shard)
 	}
 }
 
@@ -458,6 +651,7 @@ func (s *Server) servePeer(conn net.Conn, sc *wire.Scanner, payload []byte) erro
 			}
 			return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
 		}
+		s.shard.noteHeard(int(hello.Shard))
 		switch typ {
 		case wire.TypePriceDigest:
 			d, err := wire.DecodePriceDigest(payload)
@@ -486,10 +680,48 @@ func (s *Server) servePeer(conn net.Conn, sc *wire.Scanner, payload []byte) erro
 			if _, err := conn.Write(ack); err != nil {
 				return fmt.Errorf("server: peer shard %d: ack: %w", hello.Shard, err)
 			}
+		case wire.TypeHeartbeat:
+			hb, err := wire.DecodeHeartbeat(payload)
+			if err != nil {
+				return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+			}
+			if hb.Shard != hello.Shard {
+				s.stPeerRej.Add(1)
+			}
+		case wire.TypeFlowState:
+			fs, err := wire.DecodeFlowState(payload)
+			if err != nil {
+				return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+			}
+			if fs.Shard != hello.Shard || fs.Epoch < hello.Epoch {
+				s.stPeerRej.Add(1)
+				continue
+			}
+			s.shard.storeReplica(fs)
+		case wire.TypeTakeover:
+			tk, err := wire.DecodeTakeover(payload)
+			if err != nil {
+				return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+			}
+			if tk.By != hello.Shard {
+				s.stPeerRej.Add(1)
+				continue
+			}
+			s.shard.enqueueTakeover(tk)
 		default:
 			return fmt.Errorf("server: peer shard %d: unexpected %s frame", hello.Shard, typ)
 		}
 	}
+}
+
+// enqueueTakeover queues a takeover announcement for the next iteration
+// boundary, where it re-points servedBy like any other seq-stamped fold.
+func (st *shardState) enqueueTakeover(tk wire.Takeover) {
+	st.inMu.Lock()
+	st.pending = append(st.pending, exchangeMsg{
+		from: tk.By, seq: tk.Seq, takeover: true, dead: tk.Dead,
+	})
+	st.inMu.Unlock()
 }
 
 // enqueueDigest copies a digest out of the scanner buffer into the pending
@@ -567,11 +799,16 @@ func (s *Server) foldExchangeLocked() {
 	digests := false
 	for _, m := range apply {
 		s.stPeerEx.Add(1)
+		if m.takeover {
+			s.applyTakeoverLocked(int(m.dead), int(m.from))
+			digests = true // peer contributions changed; re-sum below
+			continue
+		}
 		if m.snapshot {
 			st.pinLinks = st.pinLinks[:0]
 			st.pinVals = st.pinVals[:0]
 			for i, l := range m.links {
-				if l < 0 || int(l) >= st.numLinks || st.smap.OwnerOfLink(topology.LinkID(l)) != int(m.from) {
+				if l < 0 || int(l) >= st.numLinks || !st.servesLink(topology.LinkID(l), m.from) {
 					s.stPeerRej.Add(1)
 					continue
 				}
@@ -580,6 +817,7 @@ func (s *Server) foldExchangeLocked() {
 			}
 			if len(st.pinLinks) > 0 {
 				st.ex.PinPrices(st.pinLinks, st.pinVals)
+				st.retainSnapshot(m.from, m.seq, st.pinLinks, st.pinVals)
 			}
 			continue
 		}
@@ -619,4 +857,181 @@ func (s *Server) foldExchangeLocked() {
 		}
 		st.ex.SetExternalLoads(st.boundary, st.extLoad, st.extHdiag)
 	}
+}
+
+// retainSnapshot keeps a copy of a peer daemon's accepted prices for
+// adoption seeding: chunks of one sequence accumulate, a newer sequence
+// replaces. Called with the server mutex held.
+func (st *shardState) retainSnapshot(from uint32, seq uint64, links []topology.LinkID, prices []float64) {
+	rec := st.lastSnap[from]
+	if rec == nil || rec.seq != seq {
+		rec = &snapRecord{seq: seq}
+		st.lastSnap[from] = rec
+	}
+	rec.links = append(rec.links, links...)
+	rec.prices = append(rec.prices, prices...)
+}
+
+// applyTakeoverLocked re-points ownership after daemon `by` adopted dead
+// daemon `dead`: every shard dead served is now served by the adopter,
+// dead's stale digest contributions are discarded (the adopter's own digest
+// now carries those flows' loads), and the digest-target cache is rebuilt.
+// Called with the server mutex held.
+func (s *Server) applyTakeoverLocked(dead, by int) {
+	st := s.shard
+	if dead == st.index || dead < 0 || dead >= st.smap.NumShards() {
+		s.stPeerRej.Add(1)
+		return
+	}
+	st.deadDaemons[dead] = true
+	for x := range st.servedBy {
+		if st.servedBy[x] == int32(dead) {
+			st.servedBy[x] = int32(by)
+		}
+	}
+	delete(st.peerLoad, uint32(dead))
+	delete(st.peerHdiag, uint32(dead))
+	clear(st.remoteLinks)
+	s.logf("shard takeover: daemon %d adopted daemon %d's rack block", by, dead)
+}
+
+// processDeathsLocked handles daemons detected dead since the last
+// iteration boundary: the successor adopts their rack blocks (seeding the
+// replica flows and retained prices it holds) and queues a takeover
+// announcement; everyone else records the death so successor elections
+// stay consistent. Called with the server mutex and sendMu held, after
+// foldExchangeLocked and before flowlet events are drained — a client
+// re-registering an orphaned flow in the same step finds it already
+// adopted.
+func (s *Server) processDeathsLocked() {
+	st := s.shard
+	st.inMu.Lock()
+	pend := st.deadPending
+	st.deadPending = nil
+	// Free-running daemons additionally declare peers dead on heartbeat
+	// staleness; step-driven ones rely on push failures alone so runs stay
+	// deterministic.
+	if st.interval > 0 && st.hbGrace > 0 {
+		now := time.Now()
+		for d, heard := range st.lastHeard {
+			if !st.deadDaemons[d] && now.Sub(heard) > st.hbGrace {
+				pend = append(pend, d)
+			}
+		}
+	}
+	st.inMu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	sort.Ints(pend)
+	for _, dead := range pend {
+		if dead == st.index || st.deadDaemons[dead] {
+			continue
+		}
+		st.deadDaemons[dead] = true
+		delete(st.peerLoad, uint32(dead))
+		delete(st.peerHdiag, uint32(dead))
+		clear(st.remoteLinks)
+		if st.successorOf(dead) != st.index {
+			continue
+		}
+		s.adoptLocked(dead)
+	}
+}
+
+// adoptLocked makes this daemon serve dead's rack block: replica flows are
+// admitted unowned (a reconnecting client claims them churn-free through
+// the adoption path), the retained price snapshot is seeded and unpinned so
+// the adopted boundary is priced locally from now on, ownership and the
+// boundary arrays are rebuilt, and the takeover is queued for announcement
+// in the next exchange bundle.
+func (s *Server) adoptLocked(dead int) {
+	st := s.shard
+	st.inMu.Lock()
+	rep := st.replicas[uint32(dead)]
+	delete(st.replicas, uint32(dead))
+	st.inMu.Unlock()
+
+	adopted, failed := 0, 0
+	if rep != nil {
+		for _, e := range rep.flows {
+			id := core.FlowID(e.Flow)
+			if _, exists := s.owners[id]; exists {
+				continue
+			}
+			if err := s.eng.FlowletStart(id, int(e.Src), int(e.Dst), e.Weight); err != nil {
+				failed++
+				continue
+			}
+			s.owners[id] = nil
+			s.unowned[id] = flowMeta{src: int(e.Src), dst: int(e.Dst), weight: e.Weight}
+			adopted++
+		}
+	}
+	if rec := st.lastSnap[uint32(dead)]; rec != nil {
+		st.ex.SeedPrices(rec.links, rec.prices)
+		st.ex.UnpinPrices(rec.links)
+		delete(st.lastSnap, uint32(dead))
+	}
+	for x := range st.servedBy {
+		if st.servedBy[x] == int32(dead) {
+			st.servedBy[x] = int32(st.index)
+		}
+	}
+	st.rebuildBoundaryLocked()
+	st.announce = append(st.announce, wire.Takeover{Dead: uint32(dead), By: uint32(st.index)})
+	s.stTakeovers.Add(1)
+	s.logf("adopted dead daemon %d: %d flows seeded (%d failed), now serving %d shards",
+		dead, adopted, failed, st.numServedLocked())
+}
+
+// numServedLocked counts the shards this daemon currently serves.
+func (st *shardState) numServedLocked() int {
+	n := 0
+	for _, by := range st.servedBy {
+		if by == int32(st.index) {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuildBoundaryLocked recomputes the boundary arrays after the served
+// shard set changed: the boundary becomes the concatenation, in shard
+// order, of every served shard's downward links, and the dense peer
+// contribution arrays are reset (their layout changed; peers re-fill them
+// with their next digests).
+func (st *shardState) rebuildBoundaryLocked() {
+	var b []topology.LinkID
+	for x := 0; x < st.smap.NumShards(); x++ {
+		if st.servedBy[x] == int32(st.index) {
+			b = append(b, st.smap.BoundaryLinks(x)...)
+		}
+	}
+	st.boundary = b
+	for i := range st.posOf {
+		st.posOf[i] = -1
+	}
+	for i, l := range st.boundary {
+		st.posOf[l] = int32(i)
+	}
+	st.extLoad = make([]float64, len(b))
+	st.extHdiag = make([]float64, len(b))
+	st.snapPrices = make([]float64, len(b))
+	clear(st.peerLoad)
+	clear(st.peerHdiag)
+	clear(st.remoteLinks)
+	st.ex.SetExternalLoads(st.boundary, st.extLoad, st.extHdiag)
+}
+
+// ServesShard reports whether this daemon currently serves the given shard:
+// its own from the start, others after adopting them. Clients use it to
+// decide where to re-register a dead shard's flows.
+func (s *Server) ServesShard(shard int) bool {
+	if s.shard == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return shard >= 0 && shard < len(s.shard.servedBy) && s.shard.servedBy[shard] == int32(s.shard.index)
 }

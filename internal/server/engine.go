@@ -20,6 +20,14 @@ type engine interface {
 	Close()
 }
 
+// snapshotter is implemented by engines whose live flow set can be exported
+// in canonical order — the basis of flow-state snapshots, peer replicas, and
+// warm restart. Both engines support it; price export additionally requires
+// the exchanger interface (sequential engine only).
+type snapshotter interface {
+	LiveFlows() []core.ParallelFlow
+}
+
 // coreEngine adapts the sequential core.Allocator.
 type coreEngine struct {
 	alloc *core.Allocator
@@ -46,6 +54,8 @@ func (e *coreEngine) NumFlows() int                   { return e.alloc.NumFlows(
 func (e *coreEngine) Rates() map[core.FlowID]float64  { return e.alloc.Rates() }
 func (e *coreEngine) Close()                          {}
 
+func (e *coreEngine) LiveFlows() []core.ParallelFlow { return e.alloc.LiveFlows() }
+
 // The sequential engine supports the sharded boundary exchange by
 // delegating to the allocator's boundary API (see internal/core/boundary.go
 // and this package's cluster.go).
@@ -61,6 +71,12 @@ func (e *coreEngine) BoundaryDigest(links []topology.LinkID, loads, hdiag []floa
 }
 func (e *coreEngine) LinkPrices(links []topology.LinkID, prices []float64) {
 	e.alloc.LinkPrices(links, prices)
+}
+func (e *coreEngine) SeedPrices(links []topology.LinkID, prices []float64) {
+	e.alloc.SeedPrices(links, prices)
+}
+func (e *coreEngine) UnpinPrices(links []topology.LinkID) {
+	e.alloc.UnpinPrices(links)
 }
 
 // parallelEngine adapts the multicore core.ParallelAllocator, which now
@@ -115,3 +131,5 @@ func (e *parallelEngine) NumFlows() int { return e.pa.NumFlows() }
 func (e *parallelEngine) Rates() map[core.FlowID]float64 { return e.pa.Rates() }
 
 func (e *parallelEngine) Close() { e.pa.Close() }
+
+func (e *parallelEngine) LiveFlows() []core.ParallelFlow { return e.pa.LiveFlows() }

@@ -69,6 +69,21 @@ type Config struct {
 	NumShards int
 	// ShardIndex is this daemon's shard in [0, NumShards).
 	ShardIndex int
+
+	// Takeover enables peer-detected shard failover in a sharded cluster:
+	// every iteration the daemon replicates its flow state to its successor
+	// (the next live shard index), and when a peer daemon dies — its
+	// exchange push fails, or (free-running) its heartbeats go stale past
+	// HeartbeatTimeout — the dead daemon's successor adopts the orphaned
+	// rack block, seeded from the replica and last price snapshot it holds,
+	// and announces the takeover to the surviving peers.
+	Takeover bool
+	// HeartbeatTimeout declares a peer dead when no frame has arrived from
+	// it for this long. It only applies to free-running daemons
+	// (Interval > 0): step-driven runs detect death solely through the
+	// synchronous exchange push, which keeps them deterministic. 0 disables
+	// staleness detection.
+	HeartbeatTimeout time.Duration
 }
 
 // Stats is a snapshot of daemon counters.
@@ -101,6 +116,22 @@ type Stats struct {
 	// invalid (wrong owner, unknown link, stale epoch).
 	PeerExchanges int64
 	PeerRejected  int64
+	// AdoptedFlows counts flowlets whose ownership was transferred without
+	// engine churn: restored (or replica-seeded) flows claimed by a
+	// reconnecting client's re-registration.
+	AdoptedFlows int64
+	// Takeovers counts dead peer shards this daemon adopted.
+	Takeovers int64
+	// DrainRejects counts flowlet adds refused because the daemon was
+	// draining.
+	DrainRejects int64
+}
+
+// flowMeta is the registration a flow without an owning session was created
+// from (snapshot restore or peer replica).
+type flowMeta struct {
+	src, dst int
+	weight   float64
 }
 
 // event is one flowlet notification waiting for the next iteration boundary.
@@ -132,9 +163,15 @@ type Server struct {
 	// still mid-handshake, so Close can unblock their readers.
 	conns  map[net.Conn]struct{}
 	owners map[core.FlowID]*session
-	inbox  []event
-	seq    uint64 // iteration counter
-	closed bool
+	// unowned holds the registration metadata of flows that live in the
+	// engine without an owning session (restored from a snapshot or seeded
+	// from a peer replica), so a reconnecting client's re-registration can
+	// be verified and adopted without engine churn.
+	unowned  map[core.FlowID]flowMeta
+	inbox    []event
+	seq      uint64 // iteration counter
+	closed   bool
+	draining bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -154,6 +191,9 @@ type Server struct {
 	stLimited   atomic.Int64
 	stPeerEx    atomic.Int64
 	stPeerRej   atomic.Int64
+	stAdopted   atomic.Int64
+	stTakeovers atomic.Int64
+	stDrainRej  atomic.Int64
 
 	// epoch is the allocator generation announced in handshakes; BumpEpoch
 	// advances it mid-run and notifies connected clients.
@@ -198,6 +238,7 @@ func New(cfg Config) (*Server, error) {
 		sessions: make(map[*session]struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		owners:   make(map[core.FlowID]*session),
+		unowned:  make(map[core.FlowID]flowMeta),
 		done:     make(chan struct{}),
 	}
 	s.epoch.Store(cfg.Epoch)
@@ -307,6 +348,9 @@ func (s *Server) Stats() Stats {
 		LimitedAdds:      s.stLimited.Load(),
 		PeerExchanges:    s.stPeerEx.Load(),
 		PeerRejected:     s.stPeerRej.Load(),
+		AdoptedFlows:     s.stAdopted.Load(),
+		Takeovers:        s.stTakeovers.Load(),
+		DrainRejects:     s.stDrainRej.Load(),
 	}
 }
 
@@ -643,13 +687,26 @@ func (s *Server) removeSession(sess *session) {
 		return
 	}
 	delete(s.sessions, sess)
-	orphans := make([]core.FlowID, 0, len(sess.flows))
-	for id := range sess.flows {
-		orphans = append(orphans, id)
-	}
-	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
-	for _, id := range orphans {
-		s.inbox = append(s.inbox, event{end: true, flow: id, sess: sess, cleanup: true})
+	var orphans []core.FlowID
+	if s.draining {
+		// A draining daemon keeps disconnected clients' flows registered:
+		// they are about to be written to the snapshot (and have already
+		// been replicated to the successor shard), so a cleanup sweep here
+		// would retire exactly the flows a restarted or adopting daemon
+		// needs. Clients fail over warm at last-known rates regardless.
+		// The flows become unowned, claimable by a reconnecting client.
+		for id := range sess.flows {
+			s.owners[id] = nil
+		}
+	} else {
+		orphans = make([]core.FlowID, 0, len(sess.flows))
+		for id := range sess.flows {
+			orphans = append(orphans, id)
+		}
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+		for _, id := range orphans {
+			s.inbox = append(s.inbox, event{end: true, flow: id, sess: sess, cleanup: true})
+		}
 	}
 	s.mu.Unlock()
 	close(sess.done)
@@ -759,6 +816,9 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 	}
 	if s.shard != nil {
 		s.foldExchangeLocked()
+		if s.shard.takeover {
+			s.processDeathsLocked()
+		}
 	}
 	s.drainInboxLocked()
 
@@ -876,13 +936,48 @@ func (s *Server) drainInboxLocked() {
 				continue
 			}
 			delete(s.owners, ev.flow)
+			delete(s.unowned, ev.flow)
 			if owner != nil {
 				delete(owner.flows, ev.flow)
 			}
 			continue
 		}
-		if _, dup := s.owners[ev.flow]; dup {
-			s.stDupAdds.Add(1)
+		if owner, dup := s.owners[ev.flow]; dup {
+			// Adoption without churn: a flow restored from a snapshot or
+			// seeded from a peer replica sits in the engine unowned. When a
+			// reconnecting client re-registers it with the same route and
+			// weight, ownership transfers in place — the engine never sees a
+			// retire/re-add pair, so prices and rates are undisturbed and a
+			// warm restart costs zero registrations.
+			meta, unowned := s.unowned[ev.flow]
+			if owner == nil && unowned && ev.sess != nil {
+				if meta.src == ev.src && meta.dst == ev.dst && meta.weight == ev.weight {
+					if _, live := s.sessions[ev.sess]; live {
+						s.owners[ev.flow] = ev.sess
+						ev.sess.flows[ev.flow] = struct{}{}
+						delete(s.unowned, ev.flow)
+						s.stAdopted.Add(1)
+					}
+					continue
+				}
+				// Same ID, different registration: the stored flow is stale.
+				// Retire it and fall through to a fresh registration.
+				if err := s.eng.FlowletEnd(ev.flow); err != nil {
+					s.logf("flowlet %d stale-adopt end: %v", ev.flow, err)
+					continue
+				}
+				delete(s.owners, ev.flow)
+				delete(s.unowned, ev.flow)
+			} else {
+				s.stDupAdds.Add(1)
+				continue
+			}
+		}
+		if s.draining {
+			// A draining daemon admits no new flowlets: it is about to hand
+			// its state to a successor, and anything admitted now would miss
+			// the snapshot already replicated to peers.
+			s.stDrainRej.Add(1)
 			continue
 		}
 		if ev.sess != nil {

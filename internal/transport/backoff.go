@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes bounded exponential retry delays for redial loops: the
+// daemon's peer-maintenance loop and endpoint failover both use it instead
+// of a fixed sleep, so a dead target is probed quickly at first but a
+// long outage does not burn CPU, and the jitter keeps a cluster's worth of
+// dialers from thundering at a restarted daemon in lockstep.
+//
+// The zero value is ready to use (50ms base, 2s cap). Next returns the delay
+// before the upcoming attempt: the exponential term doubles per attempt and
+// is capped at Max, and the returned delay is drawn uniformly from
+// [term/2, term) so concurrent dialers spread out. Backoff is not safe for
+// concurrent use; give each dial loop its own.
+type Backoff struct {
+	Base time.Duration // first delay; 50ms if zero
+	Max  time.Duration // delay cap; 2s if zero
+
+	attempt int
+}
+
+// Next returns the delay to sleep before the next attempt and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	term := base
+	for i := 0; i < b.attempt && term < max; i++ {
+		term *= 2
+	}
+	if term > max {
+		term = max
+	}
+	b.attempt++
+	half := term / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Reset restarts the schedule after a successful attempt.
+func (b *Backoff) Reset() { b.attempt = 0 }

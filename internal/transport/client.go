@@ -18,6 +18,13 @@ import (
 // live flowlet set.
 var ErrEpochChanged = errors.New("transport: daemon epoch changed; reconnect to re-register flowlets")
 
+// ErrDaemonDraining reports that the daemon pushed a drain-flagged
+// EpochNotify: it is shutting down on purpose after snapshotting its state.
+// The client should freeze at last-known rates and fail over — to the
+// restarted daemon via ResumeReconnect (the snapshot restore holds its flows
+// ready for adoption), or to the peer that adopts its shard.
+var ErrDaemonDraining = errors.New("transport: daemon draining; fail over at last-known rates")
+
 // AllocatorBackend is where the simulation engine's Flowtune control plane
 // terminates: either the in-process core.Allocator or a flowtuned daemon
 // reached through an AllocClient. FlowletStart/FlowletEnd deliver
@@ -57,6 +64,18 @@ type AllocClient struct {
 
 	epoch    uint64
 	interval time.Duration
+
+	// freeze enables freeze-on-failure: a failed Step marks the session
+	// frozen and surfaces last-known rates (no updates, no error) instead of
+	// erroring, until ResumeReconnect repairs it. Off by default — callers
+	// that want hard errors (tests, operator tools) keep them.
+	freeze bool
+	frozen bool
+	// frozenEnds records flows that ended while the session was frozen:
+	// their End frames can never reach the dead daemon, but the successor
+	// still holds the flows (snapshot or replica), so the failover replays
+	// these ends there to keep ghost flows from holding fabric shares.
+	frozenEnds []core.FlowID
 
 	// regs tracks the full registration of every live flow: the source
 	// server fills core.RateUpdate.Src on decoded updates and mirrors the
@@ -172,6 +191,75 @@ func (c *AllocClient) Reconnect(conn net.Conn) error {
 	return nil
 }
 
+// ResumeReconnect re-establishes the session against a daemon that already
+// holds this client's flows — one restored from a snapshot, or a peer that
+// adopted them from a replica. Unlike Reconnect it re-registers with bare
+// adds only (no End/Add pairs): the daemon's adoption path matches each add
+// against its unowned flow and transfers ownership in place, so the engine
+// sees zero churn and rates continue bit-identically from where the dead
+// daemon left them. It also clears the frozen state set by freeze-on-failure.
+func (c *AllocClient) ResumeReconnect(conn net.Conn) error {
+	if c.conn != nil && c.conn != conn {
+		c.conn.Close()
+	}
+	if err := c.handshake(conn); err != nil {
+		return err
+	}
+	c.wbuf = c.wbuf[:0]
+	c.seq = 0
+	c.frozen = false
+	// Flows that ended while frozen are still in the daemon's restored
+	// snapshot; retire them before re-registering the survivors.
+	for _, id := range c.frozenEnds {
+		c.wbuf = wire.AppendFlowletEnd(c.wbuf, wire.FlowletEnd{Flow: int64(id)})
+	}
+	c.frozenEnds = nil
+	ids := make([]core.FlowID, 0, len(c.regs))
+	for id := range c.regs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := c.regs[id]
+		c.wbuf = wire.AppendFlowletAdd(c.wbuf, wire.FlowletAdd{
+			Flow:   int64(id),
+			Src:    r.src,
+			Dst:    r.dst,
+			Weight: r.weight,
+		})
+	}
+	return nil
+}
+
+// SetFreezeOnFailure selects what a failed Step does: enabled, the session
+// freezes at last-known rates (Step returns no updates and no error, Frozen
+// reports true) until ResumeReconnect; disabled (the default), Step surfaces
+// the error. ErrEpochChanged is never frozen — it means the daemon is alive
+// with reset state, which needs a Reconnect, not a failover.
+func (c *AllocClient) SetFreezeOnFailure(on bool) { c.freeze = on }
+
+// Frozen reports whether the session froze after a failure (always false
+// unless SetFreezeOnFailure(true)).
+func (c *AllocClient) Frozen() bool { return c.frozen }
+
+// FlowRegistration is one live flowlet registration as the client tracks it.
+type FlowRegistration struct {
+	ID       core.FlowID
+	Src, Dst int
+	Weight   float64
+}
+
+// Registrations returns the live flowlet registrations, sorted by flow ID —
+// what a failover must re-register with the adopting daemon.
+func (c *AllocClient) Registrations() []FlowRegistration {
+	out := make([]FlowRegistration, 0, len(c.regs))
+	for id, r := range c.regs {
+		out = append(out, FlowRegistration{ID: id, Src: int(r.src), Dst: int(r.dst), Weight: r.weight})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Epoch returns the daemon's allocator epoch from the handshake.
 func (c *AllocClient) Epoch() uint64 { return c.epoch }
 
@@ -205,8 +293,29 @@ func (c *AllocClient) FlowletEnd(id core.FlowID) error {
 		return nil
 	}
 	delete(c.regs, id)
+	if c.frozen {
+		c.frozenEnds = append(c.frozenEnds, id)
+		return nil
+	}
 	c.wbuf = wire.AppendFlowletEnd(c.wbuf, wire.FlowletEnd{Flow: int64(id)})
 	return nil
+}
+
+// EndOrphan buffers a flowlet-end for a flow this session never registered.
+// A failover uses it to retire, at the adopting daemon, flows that ended
+// while their own daemon's session was frozen — the adopter holds them
+// unowned from the dead daemon's replica and nobody else will ever end them.
+func (c *AllocClient) EndOrphan(id core.FlowID) {
+	delete(c.regs, id)
+	c.wbuf = wire.AppendFlowletEnd(c.wbuf, wire.FlowletEnd{Flow: int64(id)})
+}
+
+// TakeFrozenEnds returns (and clears) the flows that ended while the session
+// was frozen, in end order.
+func (c *AllocClient) TakeFrozenEnds() []core.FlowID {
+	ends := c.frozenEnds
+	c.frozenEnds = nil
+	return ends
 }
 
 // Flush writes all buffered notifications to the daemon.
@@ -227,7 +336,25 @@ func (c *AllocClient) Flush() error {
 // client. Updates from asynchronous fan-out batches that arrive while
 // waiting are folded in ahead of the step reply, preserving arrival order.
 // The returned slice is reused across calls.
+//
+// With freeze-on-failure enabled a failed step (daemon crash or drain)
+// freezes the session instead: the endpoint keeps sending at last-known
+// rates — the paper's fallback when the allocator goes away — and Step is a
+// no-op until ResumeReconnect.
 func (c *AllocClient) Step() ([]core.RateUpdate, error) {
+	if c.frozen {
+		return nil, nil
+	}
+	ups, err := c.step()
+	if err != nil && c.freeze && !errors.Is(err, ErrEpochChanged) {
+		c.frozen = true
+		return nil, nil
+	}
+	return ups, err
+}
+
+// step is Step without the freeze-on-failure wrapper.
+func (c *AllocClient) step() ([]core.RateUpdate, error) {
 	c.seq++
 	c.wbuf = wire.AppendStep(c.wbuf, wire.Step{Seq: c.seq})
 	if _, err := c.conn.Write(c.wbuf); err != nil {
@@ -283,6 +410,10 @@ func (c *AllocClient) readBatch() (wire.RateBatch, error) {
 		m, err := wire.DecodeEpochNotify(payload)
 		if err != nil {
 			return wire.RateBatch{}, fmt.Errorf("transport: %w", err)
+		}
+		if m.Epoch&wire.EpochDrainFlag != 0 {
+			c.epoch = m.Epoch &^ wire.EpochDrainFlag
+			return wire.RateBatch{}, ErrDaemonDraining
 		}
 		c.epoch = m.Epoch
 		return wire.RateBatch{}, ErrEpochChanged

@@ -1,0 +1,36 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBoundsAndGrowth pins the redial schedule: every delay sits in
+// [term/2, term] for the exponentially growing, capped term, and Reset
+// restarts the schedule.
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	terms := []time.Duration{10, 20, 40, 80, 80, 80} // ms, capped at Max
+	for i, term := range terms {
+		term *= time.Millisecond
+		d := b.Next()
+		if d < term/2 || d > term {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, term/2, term)
+		}
+	}
+	b.Reset()
+	if d := b.Next(); d > 10*time.Millisecond {
+		t.Fatalf("delay after Reset = %v, want ≤ base", d)
+	}
+
+	// The zero value is usable with sane defaults.
+	var zero Backoff
+	if d := zero.Next(); d < 25*time.Millisecond || d > 50*time.Millisecond {
+		t.Fatalf("zero-value first delay = %v, want within [25ms, 50ms]", d)
+	}
+	for i := 0; i < 20; i++ {
+		if d := zero.Next(); d > 2*time.Second {
+			t.Fatalf("zero-value delay %v exceeds the 2s cap", d)
+		}
+	}
+}

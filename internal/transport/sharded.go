@@ -18,8 +18,14 @@ import (
 type ShardedClient struct {
 	smap    *topology.ShardMap
 	clients []*AllocClient
-	shardOf map[core.FlowID]int
+	shardOf map[core.FlowID]int // flow → daemon (client index) registered with
 	updates []core.RateUpdate
+
+	// daemonOf[x] is the daemon currently serving shard x — initially the
+	// identity, re-pointed by Failover when a peer adopts a dead daemon's
+	// rack block. It mirrors the daemons' own servedBy table.
+	daemonOf []int
+	dead     []bool
 }
 
 // ShardError wraps an error from one shard's session with the shard index,
@@ -49,9 +55,14 @@ func NewShardedClient(conns []net.Conn, smap *topology.ShardMap, clientID uint64
 		return nil, fmt.Errorf("transport: sharded client needs %d connections, got %d", smap.NumShards(), len(conns))
 	}
 	c := &ShardedClient{
-		smap:    smap,
-		clients: make([]*AllocClient, len(conns)),
-		shardOf: make(map[core.FlowID]int),
+		smap:     smap,
+		clients:  make([]*AllocClient, len(conns)),
+		shardOf:  make(map[core.FlowID]int),
+		daemonOf: make([]int, len(conns)),
+		dead:     make([]bool, len(conns)),
+	}
+	for i := range c.daemonOf {
+		c.daemonOf[i] = i
 	}
 	for i, conn := range conns {
 		cli, err := NewAllocClient(conn, clientID)
@@ -103,11 +114,11 @@ func (c *ShardedClient) FlowletStart(id core.FlowID, src, dst int, weight float6
 	if src < 0 || src >= c.smap.Topology().NumServers() {
 		return fmt.Errorf("transport: flowlet %d: source server %d out of range", id, src)
 	}
-	shard := c.smap.ShardOfFlow(src, dst)
-	if err := c.clients[shard].FlowletStart(id, src, dst, weight); err != nil {
-		return &ShardError{Shard: shard, Err: err}
+	daemon := c.daemonOf[c.smap.ShardOfFlow(src, dst)]
+	if err := c.clients[daemon].FlowletStart(id, src, dst, weight); err != nil {
+		return &ShardError{Shard: daemon, Err: err}
 	}
-	c.shardOf[id] = shard
+	c.shardOf[id] = daemon
 	return nil
 }
 
@@ -128,6 +139,9 @@ func (c *ShardedClient) FlowletEnd(id core.FlowID) error {
 // Flush writes all buffered notifications to their daemons.
 func (c *ShardedClient) Flush() error {
 	for i, cli := range c.clients {
+		if c.dead[i] {
+			continue
+		}
 		if err := cli.Flush(); err != nil {
 			return &ShardError{Shard: i, Err: err}
 		}
@@ -145,6 +159,9 @@ func (c *ShardedClient) Flush() error {
 func (c *ShardedClient) Step() ([]core.RateUpdate, error) {
 	c.updates = c.updates[:0]
 	for i, cli := range c.clients {
+		if c.dead[i] {
+			continue
+		}
 		ups, err := cli.Step()
 		if err != nil {
 			return nil, &ShardError{Shard: i, Err: err}
@@ -168,6 +185,71 @@ func (c *ShardedClient) Reconnect(shard int, conn net.Conn) error {
 // Epoch returns one shard's allocator epoch from its handshake (or the last
 // EpochNotify it pushed).
 func (c *ShardedClient) Epoch(shard int) uint64 { return c.clients[shard].Epoch() }
+
+// SetFreezeOnFailure applies freeze-on-failure to every shard session: a
+// shard whose daemon dies freezes at last-known rates instead of failing the
+// whole cluster step. Frozen reports per-shard state; Failover repairs it.
+func (c *ShardedClient) SetFreezeOnFailure(on bool) {
+	for _, cli := range c.clients {
+		cli.SetFreezeOnFailure(on)
+	}
+}
+
+// Frozen reports whether one daemon's session froze after a failure.
+func (c *ShardedClient) Frozen(daemon int) bool { return c.clients[daemon].Frozen() }
+
+// Successor returns the daemon that adopts dead's rack block under the
+// cluster's takeover rule — the next index after it, skipping daemons the
+// client has already failed over — so the endpoint and the daemons agree on
+// where orphaned flows land. Returns -1 when no live daemon remains.
+func (c *ShardedClient) Successor(dead int) int {
+	n := len(c.clients)
+	for i := 1; i < n; i++ {
+		cand := (dead + i) % n
+		if !c.dead[cand] {
+			return cand
+		}
+	}
+	return -1
+}
+
+// Failover re-homes a dead daemon's flows onto the peer daemon that adopted
+// its rack block (the cluster's takeover successor): the dead session's
+// registrations are re-sent, sorted, as bare adds on the adopter's live
+// session — the adopter holds them unowned from the dead daemon's replica,
+// so each add transfers ownership without engine churn — and future flows
+// hashed to the dead daemon's shards route to the adopter. The dead session
+// is closed; its daemon is skipped by Step from now on.
+func (c *ShardedClient) Failover(dead, adopter int) error {
+	if dead == adopter || dead < 0 || dead >= len(c.clients) || adopter < 0 || adopter >= len(c.clients) {
+		return fmt.Errorf("transport: failover %d → %d out of range", dead, adopter)
+	}
+	if c.dead[dead] {
+		return nil
+	}
+	if c.dead[adopter] {
+		return fmt.Errorf("transport: failover %d → %d: adopter is dead", dead, adopter)
+	}
+	c.dead[dead] = true
+	c.clients[dead].Close()
+	for x := range c.daemonOf {
+		if c.daemonOf[x] == dead {
+			c.daemonOf[x] = adopter
+		}
+	}
+	// Flows that ended while the dead session was frozen still sit in the
+	// adopter's replica; retire them there before re-registering survivors.
+	for _, id := range c.clients[dead].TakeFrozenEnds() {
+		c.clients[adopter].EndOrphan(id)
+	}
+	for _, r := range c.clients[dead].Registrations() {
+		if err := c.clients[adopter].FlowletStart(r.ID, r.Src, r.Dst, r.Weight); err != nil {
+			return &ShardError{Shard: adopter, Err: err}
+		}
+		c.shardOf[r.ID] = adopter
+	}
+	return nil
+}
 
 // Close closes every shard session, returning the first error.
 func (c *ShardedClient) Close() error {

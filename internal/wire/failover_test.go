@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlowStateRoundTrip(t *testing.T) {
+	entries := []FlowStateEntry{
+		{Flow: 1, Src: 0, Dst: 15, Weight: 1},
+		{Flow: -9, Src: 3, Dst: 3, Weight: 0.25},
+		{Flow: 1 << 60, Src: 1 << 20, Dst: 0, Weight: math.Inf(1)},
+	}
+	buf := AppendFlowStateHeader(nil, 4, 21, 2, len(entries))
+	for _, e := range entries {
+		buf = AppendFlowStateEntry(buf, e)
+	}
+	typ, p, rest, err := ParseFrame(buf)
+	if err != nil || typ != TypeFlowState || len(rest) != 0 {
+		t.Fatalf("ParseFrame = %v, rest %d, err %v", typ, len(rest), err)
+	}
+	fs, err := DecodeFlowState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Epoch != 4 || fs.Seq != 21 || fs.Shard != 2 || fs.Len() != len(entries) {
+		t.Fatalf("flow-state header = epoch %d seq %d shard %d len %d", fs.Epoch, fs.Seq, fs.Shard, fs.Len())
+	}
+	for i, want := range entries {
+		if got := fs.Entry(i); got != want {
+			t.Fatalf("entry %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := DecodeFlowState(p[:len(p)-1]); err == nil {
+		t.Fatal("truncated flow-state must be rejected")
+	}
+	if _, err := DecodeFlowState(p[:flowStateHdrLen-1]); err == nil {
+		t.Fatal("header-less flow-state must be rejected")
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := Heartbeat{Seq: 1 << 50, Shard: 6}
+	typ, p, _, err := ParseFrame(AppendHeartbeat(nil, in))
+	if err != nil || typ != TypeHeartbeat {
+		t.Fatalf("ParseFrame = %v, err %v", typ, err)
+	}
+	out, err := DecodeHeartbeat(p)
+	if err != nil || out != in {
+		t.Fatalf("DecodeHeartbeat = %+v, %v; want %+v", out, err, in)
+	}
+	if _, err := DecodeHeartbeat(p[:heartbeatLen-1]); err == nil {
+		t.Fatal("short heartbeat must be rejected")
+	}
+}
+
+func TestTakeoverRoundTrip(t *testing.T) {
+	in := Takeover{Epoch: 3, Seq: 99, Dead: 1, By: 2}
+	typ, p, _, err := ParseFrame(AppendTakeover(nil, in))
+	if err != nil || typ != TypeTakeover {
+		t.Fatalf("ParseFrame = %v, err %v", typ, err)
+	}
+	out, err := DecodeTakeover(p)
+	if err != nil || out != in {
+		t.Fatalf("DecodeTakeover = %+v, %v; want %+v", out, err, in)
+	}
+	if _, err := DecodeTakeover(p[:takeoverLen-1]); err == nil {
+		t.Fatal("short takeover must be rejected")
+	}
+}
+
+// TestEpochDrainFlag pins the drain bit's position: it must never collide
+// with a real epoch (epochs are small counters) and must survive an
+// EpochNotify round trip.
+func TestEpochDrainFlag(t *testing.T) {
+	if EpochDrainFlag != 1<<63 {
+		t.Fatalf("EpochDrainFlag = %#x; want 1<<63", EpochDrainFlag)
+	}
+	in := EpochNotify{Epoch: 7 | EpochDrainFlag}
+	_, p, _, err := ParseFrame(AppendEpochNotify(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeEpochNotify(p)
+	if err != nil || out != in {
+		t.Fatalf("DecodeEpochNotify = %+v, %v; want %+v", out, err, in)
+	}
+	if out.Epoch&EpochDrainFlag == 0 || out.Epoch&^EpochDrainFlag != 7 {
+		t.Fatalf("drain flag or epoch lost: %#x", out.Epoch)
+	}
+}

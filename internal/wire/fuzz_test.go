@@ -27,6 +27,12 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	snap = AppendSnapshotEntry(snap, SnapshotEntry{Link: 4, Price: 1.5})
 	f.Add(snap)
 	f.Add(AppendExchangeAck(nil, 3))
+	fstate := AppendFlowStateHeader(nil, 2, 5, 1, 2)
+	fstate = AppendFlowStateEntry(fstate, FlowStateEntry{Flow: 7, Src: 1, Dst: 2, Weight: 1.5})
+	fstate = AppendFlowStateEntry(fstate, FlowStateEntry{Flow: 8, Src: 3, Dst: 0, Weight: 0})
+	f.Add(fstate)
+	f.Add(AppendHeartbeat(nil, Heartbeat{Seq: 4, Shard: 2}))
+	f.Add(AppendTakeover(nil, Takeover{Epoch: 2, Seq: 9, Dead: 0, By: 1}))
 	f.Add([]byte{0xFF, 0x00})
 	f.Add(appendHeader(nil, TypeRateBatch, batchHdrLen+3))
 	f.Add(appendHeader(nil, TypePriceDigest, digestHdrLen+7))
@@ -115,6 +121,27 @@ func FuzzFrameRoundTrip(f *testing.F) {
 					break
 				}
 				reenc = AppendExchangeAck(nil, seq)
+			case TypeFlowState:
+				fs, err := DecodeFlowState(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendFlowStateHeader(nil, fs.Epoch, fs.Seq, fs.Shard, fs.Len())
+				for i := 0; i < fs.Len(); i++ {
+					reenc = AppendFlowStateEntry(reenc, fs.Entry(i))
+				}
+			case TypeHeartbeat:
+				m, err := DecodeHeartbeat(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendHeartbeat(nil, m)
+			case TypeTakeover:
+				m, err := DecodeTakeover(payload)
+				if err != nil {
+					break
+				}
+				reenc = AppendTakeover(nil, m)
 			}
 			if reenc != nil {
 				orig := buf[:HeaderBytes+len(payload)]
@@ -162,7 +189,7 @@ func FuzzScanner(f *testing.F) {
 // rateEntryLenConsistency pins the wire-format constants: changing a layout
 // without bumping Version must fail loudly.
 func TestWireLayoutConstants(t *testing.T) {
-	if Version != 2 {
+	if Version != 3 {
 		t.Fatalf("Version = %d; update layout pins when revving the protocol", Version)
 	}
 	pins := []struct {
@@ -185,6 +212,10 @@ func TestWireLayoutConstants(t *testing.T) {
 		{"snapHdrLen", snapHdrLen, 24},
 		{"snapEntryLen", snapEntryLen, 12},
 		{"ackLen", ackLen, 8},
+		{"flowStateHdrLen", flowStateHdrLen, 24},
+		{"flowStateEntryLen", flowStateEntryLen, 24},
+		{"heartbeatLen", heartbeatLen, 12},
+		{"takeoverLen", takeoverLen, 24},
 	}
 	for _, p := range pins {
 		if p.got != p.want {

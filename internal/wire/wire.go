@@ -13,7 +13,14 @@ import (
 // Version 2 adds the sharded-cluster frames (PeerHello, PriceDigest,
 // PriceSnapshot, ExchangeAck) and the server→client EpochNotify push;
 // version-1 clients are still accepted and are never sent v2 frames.
-const Version = 2
+//
+// Version 3 adds the survivable-control-plane frames: FlowState (flow-state
+// replica chunks, also the payload of on-disk snapshots), Heartbeat
+// (peer-liveness pings), Takeover (shard-adoption announcements), and the
+// EpochDrainFlag bit on EpochNotify (a draining daemon's final warm-failover
+// push). Version-2 clients are still accepted and never see the new frames
+// or the drain flag.
+const Version = 3
 
 // Frame layout: a 4-byte header (message type in byte 0, little-endian uint24
 // payload length in bytes 1-3) followed by the payload. All integer fields
@@ -70,7 +77,31 @@ const (
 	// (a PriceDigest + PriceSnapshot pair); step-driven clusters use it as
 	// the delivery barrier that keeps runs deterministic.
 	TypeExchangeAck
+
+	// Frame types added in protocol version 3.
+
+	// TypeFlowState carries a chunk of a shard's live flowlet registry
+	// (peer → peer): each daemon replicates its flow state to its
+	// designated successor so a dead shard's rack block can be adopted
+	// warm. The same frames are the body of an on-disk drain snapshot.
+	TypeFlowState
+	// TypeHeartbeat is a peer-liveness ping (peer → peer). Free-running
+	// daemons stamp one into every exchange bundle; a peer silent past the
+	// heartbeat timeout is treated as dead, like a failed push.
+	TypeHeartbeat
+	// TypeTakeover announces that the sending daemon has adopted a dead
+	// peer's shard (adopter → every surviving peer). Receivers re-target
+	// their digests for the orphaned rack block at the adopter and accept
+	// its price snapshots for the adopted links.
+	TypeTakeover
 )
+
+// EpochDrainFlag marks an EpochNotify pushed by a draining daemon: its
+// allocator is shutting down gracefully and the announced epoch (low bits) is
+// the one a restarted daemon will exceed. Clients react by freezing at their
+// last-known rates — the paper's own failure fallback — instead of treating
+// the connection loss as an error (transport.ErrDaemonDraining).
+const EpochDrainFlag uint64 = 1 << 63
 
 // String returns the frame-type name.
 func (t MsgType) String() string {
@@ -97,6 +128,12 @@ func (t MsgType) String() string {
 		return "price-snapshot"
 	case TypeExchangeAck:
 		return "exchange-ack"
+	case TypeFlowState:
+		return "flow-state"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypeTakeover:
+		return "takeover"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -119,6 +156,11 @@ const (
 	snapHdrLen     = 24 // epoch u64 + seq u64 + shard u32 + count u32
 	snapEntryLen   = 12 // link u32 + price f64
 	ackLen         = 8  // seq u64
+
+	flowStateHdrLen   = 24 // epoch u64 + seq u64 + shard u32 + count u32
+	flowStateEntryLen = 24 // flow i64 + src i32 + dst i32 + weight f64
+	heartbeatLen      = 12 // seq u64 + shard u32
+	takeoverLen       = 24 // epoch u64 + seq u64 + dead u32 + by u32
 )
 
 // Hello opens a session. ClientID is an opaque label the daemon echoes in
@@ -192,6 +234,33 @@ type DigestEntry struct {
 type SnapshotEntry struct {
 	Link  uint32
 	Price float64
+}
+
+// FlowStateEntry is one live flowlet of a FlowState chunk; the fields mirror
+// FlowletAdd so an adopter (or a restarted daemon) can re-admit the flow
+// through the ordinary registration path.
+type FlowStateEntry struct {
+	Flow     int64
+	Src, Dst int32
+	Weight   float64
+}
+
+// Heartbeat is a peer-liveness ping carrying the sender's shard index and
+// iteration counter.
+type Heartbeat struct {
+	Seq   uint64
+	Shard uint32
+}
+
+// Takeover announces that shard By has adopted dead shard Dead's rack block.
+// Epoch is the adopter's allocator epoch and Seq the iteration at which the
+// adoption takes effect, so receivers fold it at the same deterministic
+// boundary as the rest of the exchange.
+type Takeover struct {
+	Epoch uint64
+	Seq   uint64
+	Dead  uint32
+	By    uint32
 }
 
 // StepReplyFlag marks a RateBatch sent as the synchronous reply to a Step
@@ -303,6 +372,46 @@ func AppendPriceSnapshotHeader(buf []byte, epoch, seq uint64, shard uint32, coun
 func AppendSnapshotEntry(buf []byte, e SnapshotEntry) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, e.Link)
 	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Price))
+}
+
+// MaxFlowStateEntries is the largest number of entries one FlowState frame
+// can carry without overflowing the uint24 payload length.
+const MaxFlowStateEntries = (MaxPayload - flowStateHdrLen) / flowStateEntryLen
+
+// AppendFlowStateHeader appends the frame and chunk headers of a FlowState
+// with count entries; the caller then appends exactly count entries with
+// AppendFlowStateEntry. count must not exceed MaxFlowStateEntries.
+func AppendFlowStateHeader(buf []byte, epoch, seq uint64, shard uint32, count int) []byte {
+	buf = appendHeader(buf, TypeFlowState, flowStateHdrLen+count*flowStateEntryLen)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, shard)
+	return binary.LittleEndian.AppendUint32(buf, uint32(count))
+}
+
+// AppendFlowStateEntry appends one entry of a FlowState opened with
+// AppendFlowStateHeader.
+func AppendFlowStateEntry(buf []byte, e FlowStateEntry) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Flow))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Src))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Dst))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
+}
+
+// AppendHeartbeat appends an encoded Heartbeat frame.
+func AppendHeartbeat(buf []byte, m Heartbeat) []byte {
+	buf = appendHeader(buf, TypeHeartbeat, heartbeatLen)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	return binary.LittleEndian.AppendUint32(buf, m.Shard)
+}
+
+// AppendTakeover appends an encoded Takeover frame.
+func AppendTakeover(buf []byte, m Takeover) []byte {
+	buf = appendHeader(buf, TypeTakeover, takeoverLen)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Dead)
+	return binary.LittleEndian.AppendUint32(buf, m.By)
 }
 
 // AppendExchangeAck appends an encoded ExchangeAck frame.
@@ -537,6 +646,74 @@ func (s PriceSnapshot) Entry(i int) SnapshotEntry {
 	}
 }
 
+// FlowState is a decoded flow-state chunk. It aliases the frame payload like
+// PriceDigest.
+type FlowState struct {
+	// Epoch is the sender's allocator epoch; stale-epoch chunks are dropped
+	// like stale price snapshots.
+	Epoch uint64
+	// Seq is the sender's iteration counter when the chunk was taken.
+	Seq uint64
+	// Shard is the shard whose flows the chunk carries.
+	Shard   uint32
+	entries []byte
+}
+
+// DecodeFlowState decodes a FlowState payload.
+func DecodeFlowState(p []byte) (FlowState, error) {
+	if len(p) < flowStateHdrLen {
+		return FlowState{}, fmt.Errorf("wire: flow-state payload must be at least %d bytes, got %d", flowStateHdrLen, len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[20:])
+	if want := flowStateHdrLen + int(count)*flowStateEntryLen; len(p) != want {
+		return FlowState{}, fmt.Errorf("wire: flow-state declares %d entries (%d bytes), got %d bytes", count, want, len(p))
+	}
+	return FlowState{
+		Epoch:   binary.LittleEndian.Uint64(p),
+		Seq:     binary.LittleEndian.Uint64(p[8:]),
+		Shard:   binary.LittleEndian.Uint32(p[16:]),
+		entries: p[flowStateHdrLen:],
+	}, nil
+}
+
+// Len returns the number of entries in the chunk.
+func (f FlowState) Len() int { return len(f.entries) / flowStateEntryLen }
+
+// Entry decodes entry i.
+func (f FlowState) Entry(i int) FlowStateEntry {
+	p := f.entries[i*flowStateEntryLen:]
+	return FlowStateEntry{
+		Flow:   int64(binary.LittleEndian.Uint64(p)),
+		Src:    int32(binary.LittleEndian.Uint32(p[8:])),
+		Dst:    int32(binary.LittleEndian.Uint32(p[12:])),
+		Weight: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+	}
+}
+
+// DecodeHeartbeat decodes a Heartbeat payload.
+func DecodeHeartbeat(p []byte) (Heartbeat, error) {
+	if len(p) != heartbeatLen {
+		return Heartbeat{}, payloadErr(TypeHeartbeat, heartbeatLen, len(p))
+	}
+	return Heartbeat{
+		Seq:   binary.LittleEndian.Uint64(p),
+		Shard: binary.LittleEndian.Uint32(p[8:]),
+	}, nil
+}
+
+// DecodeTakeover decodes a Takeover payload.
+func DecodeTakeover(p []byte) (Takeover, error) {
+	if len(p) != takeoverLen {
+		return Takeover{}, payloadErr(TypeTakeover, takeoverLen, len(p))
+	}
+	return Takeover{
+		Epoch: binary.LittleEndian.Uint64(p),
+		Seq:   binary.LittleEndian.Uint64(p[8:]),
+		Dead:  binary.LittleEndian.Uint32(p[16:]),
+		By:    binary.LittleEndian.Uint32(p[20:]),
+	}, nil
+}
+
 // DecodeExchangeAck decodes an ExchangeAck payload and returns the echoed
 // sequence number.
 func DecodeExchangeAck(p []byte) (uint64, error) {
@@ -553,7 +730,7 @@ func DecodeExchangeAck(p []byte) (uint64, error) {
 var ErrShortFrame = fmt.Errorf("wire: short frame")
 
 // maxMsgType is the highest frame type of this protocol version.
-const maxMsgType = TypeExchangeAck
+const maxMsgType = TypeTakeover
 
 // ParseFrame splits one frame off the front of buf. It returns the frame
 // type, its payload (aliasing buf), and the remaining bytes. A buffer ending
