@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -132,6 +133,27 @@ func (c *Cluster) Client(clientID uint64) (*transport.ShardedClient, error) {
 // crashed shard. Its peers detect the death when their next exchange push
 // fails and, with Takeover enabled, the successor adopts its rack block.
 func (c *Cluster) Kill(i int) error { return c.servers[i].Close() }
+
+// Drain puts daemon i into graceful drain: it keeps iterating and serving
+// its flows but refuses new flowlet adds (see server.Server.Drain). A drain
+// followed by a Kill before the operator finishes the handover is the
+// kill-during-drain fault scenario.
+func (c *Cluster) Drain(i int) { c.servers[i].Drain() }
+
+// SetLinkCapacity broadcasts a live link-capacity change to every daemon
+// still alive, so all shards re-price the link at their next iteration
+// boundary. Dead (closed) daemons are skipped: the fabric event outlives
+// them, and a takeover successor already carries the updated capacity.
+func (c *Cluster) SetLinkCapacity(l topology.LinkID, capacity float64) error {
+	var first error
+	for _, srv := range c.servers {
+		err := srv.SetLinkCapacity(l, capacity)
+		if err != nil && !errors.Is(err, net.ErrClosed) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Rates merges every shard's current rate map (a diagnostic mirror of
 // server.Server.Rates; flow ownership makes the maps disjoint).

@@ -265,6 +265,21 @@ func (a *Allocator) LiveFlows() []ParallelFlow {
 	return out
 }
 
+// SetLinkCapacity replaces one link's raw capacity with immediate effect:
+// the effective (headroom-scaled) capacity is updated in place and the next
+// Iterate re-prices the link against it. Nothing is rebuilt — the compiled
+// CSR, registered flows, prices and rates all survive — so a capacity change
+// mid-run costs exactly one ordinary iteration. Capacity must be positive
+// and finite; model a dead link as a tiny fraction of its former capacity.
+func (a *Allocator) SetLinkCapacity(l topology.LinkID, capacity float64) error {
+	if l < 0 || int(l) >= a.topo.NumLinks() {
+		return fmt.Errorf("core: SetLinkCapacity link %d out of range (%d links)", l, a.topo.NumLinks())
+	}
+	// problem.Capacities aliases effectiveCapacities, so the validated write
+	// below is visible to the solver immediately.
+	return a.problem.SetCapacity(int(l), capacity*(1-a.cfg.UpdateThreshold))
+}
+
 // Fail simulates an allocator failure (§2, fault tolerance): the allocator
 // stops iterating and produces no updates until Recover is called. Endpoints
 // keep their previously allocated rates and fall back to their own congestion

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -438,6 +439,39 @@ func (p *ParallelAllocator) FlowletEnd(id FlowID) error {
 	}
 	delete(p.loc, id)
 	p.numFlows--
+	return nil
+}
+
+// SetLinkCapacity replaces one link's raw capacity in every LinkBlock that
+// covers it (a link appears in at most one upward and one downward block's
+// authoritative copy). The stored value is headroom-scaled, matching
+// construction, and the next Iterate's price-update phase reads it — no CSR
+// rebuild, no price or rate loss. Like all mutators it may only be called
+// while no Iterate is in flight.
+func (p *ParallelAllocator) SetLinkCapacity(l topology.LinkID, capacity float64) error {
+	if l < 0 || int(l) >= p.topo.NumLinks() {
+		return fmt.Errorf("core: SetLinkCapacity link %d out of range (%d links)", l, p.topo.NumLinks())
+	}
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return fmt.Errorf("core: SetLinkCapacity link %d: invalid capacity %g", l, capacity)
+	}
+	eff := capacity * (1 - p.cfg.Headroom)
+	found := false
+	for _, lb := range p.up {
+		if pos := lb.posOf[l]; pos >= 0 {
+			lb.cap[pos] = eff
+			found = true
+		}
+	}
+	for _, lb := range p.down {
+		if pos := lb.posOf[l]; pos >= 0 {
+			lb.cap[pos] = eff
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: SetLinkCapacity link %d is not covered by any LinkBlock", l)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/topology"
@@ -97,6 +98,19 @@ type ScenarioConfig struct {
 	// ChaosKillShard selects the daemon to kill (default: the last shard,
 	// so shard 0 — the successor ring's wrap target — adopts it).
 	ChaosKillShard int
+	// Faults, when non-nil, applies a deterministic fault plan through the
+	// injection layer (internal/faults): link events re-price the allocator
+	// and degrade the fabric, kill/drain events exercise the survivable
+	// control plane, traffic events are materialized as synthetic flowlets.
+	// Requires the Flowtune scheme; kill events additionally require
+	// Shards > 1. Mutually exclusive with ChaosKillStep (which is the
+	// single-kill special case, kept for the legacy chaos result shape).
+	Faults *faults.Plan
+	// MeasureControlLatency records each flow's flowlet-start→first-rate
+	// arrival latency (in simulated time, hence deterministic) and the
+	// daemons' exchange-staleness and solver-loop counters into the
+	// result's Control block.
+	MeasureControlLatency bool
 }
 
 // withDefaults fills unset scenario fields.
@@ -191,6 +205,13 @@ type ScenarioResult struct {
 	// Chaos summarizes the failover injection of a chaos scenario; nil
 	// (omitted) for ordinary runs, so their baselines are unaffected.
 	Chaos *ChaosStats `json:"chaos,omitempty"`
+	// Faults is the injection report of a fault-plan scenario; nil
+	// (omitted) for ordinary runs and for the legacy single-kill chaos
+	// shape, which keeps reporting through Chaos.
+	Faults *faults.Report `json:"faults,omitempty"`
+	// Control carries the control-plane latency and staleness measurements
+	// of a MeasureControlLatency run; nil (omitted) otherwise.
+	Control *ControlStats `json:"control,omitempty"`
 }
 
 // ChaosStats is the recovery accounting of one chaos-failover injection.
@@ -210,8 +231,44 @@ type ChaosStats struct {
 	Takeovers    int64 `json:"takeovers"`
 }
 
+// ControlStats measures the control loop the paper budgets at ~10 µs per
+// iteration: how long endpoints wait between starting a flowlet and hearing
+// their first allocated rate, and how stale the boundary-price exchange is
+// when daemons fold peer updates. Every field is computed from simulated
+// time and step-mode counters, so it is byte-deterministic; the wall-clock
+// side of the budget (LoopStats latency of free-running daemons) lives in
+// the test suite, not in baselines.
+type ControlStats struct {
+	// RateLatencySec summarizes, per flow, the simulated time between the
+	// flowlet-start control message leaving the host and the first rate
+	// update arriving back.
+	RateLatencySec     metrics.DistStats `json:"rate_latency_sec"`
+	RateLatencySamples int               `json:"rate_latency_samples"`
+	// ExchangeFolds counts boundary-price exchange messages folded across
+	// all daemons; MeanStalenessIters is the mean number of local
+	// iterations the folded prices lagged behind (1.0 is the step-mode
+	// floor: peers publish at iteration k, folds happen at k+1).
+	ExchangeFolds      int64   `json:"exchange_folds,omitempty"`
+	MeanStalenessIters float64 `json:"mean_staleness_iters,omitempty"`
+	// LoopIterations and LoopUpdatesPerIteration aggregate the daemons'
+	// solver-loop counters (iterations run, rate updates emitted per
+	// iteration).
+	LoopIterations          int64   `json:"loop_iterations,omitempty"`
+	LoopUpdatesPerIteration float64 `json:"loop_updates_per_iteration,omitempty"`
+}
+
 // ScenarioResultSchema identifies the current BENCH_*.json layout.
 const ScenarioResultSchema = "flowtune-bench/scenario/v1"
+
+const (
+	// allocatorStepInterval mirrors the engine's default AllocatorInterval
+	// (the paper's 10 µs iteration period); fault-plan steps are defined on
+	// this cadence.
+	allocatorStepInterval = 10e-6
+	// syntheticFlowIDBase is the flow-ID space of fault-plan synthetic
+	// flowlets, far above any workload trace ID.
+	syntheticFlowIDBase = int64(1) << 40
+)
 
 // RunScenario executes one scenario end to end: it builds the fabric,
 // generates the flowlet trace, drives the allocator and packet simulator
@@ -234,7 +291,39 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.ChaosKillStep > 0 && cfg.Shards <= 1 {
 		return nil, fmt.Errorf("experiments: scenario %s: ChaosKillStep requires Shards > 1", cfg.Name)
 	}
-	var chaos *chaosBackend
+	if cfg.ChaosKillStep > 0 && cfg.Faults != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: ChaosKillStep and Faults are mutually exclusive", cfg.Name)
+	}
+	// The legacy single-kill chaos knob is the degenerate fault plan; fold it
+	// into the general injection path, remembering to report through the
+	// legacy Chaos result shape.
+	plan := cfg.Faults
+	legacyChaos := false
+	if cfg.ChaosKillStep > 0 {
+		victim := cfg.ChaosKillShard
+		if victim == 0 {
+			victim = cfg.Shards - 1
+		}
+		if victim < 0 || victim >= cfg.Shards {
+			return nil, fmt.Errorf("experiments: scenario %s: ChaosKillShard %d out of range", cfg.Name, victim)
+		}
+		plan = &faults.Plan{Events: []faults.Event{{Step: cfg.ChaosKillStep, Kind: faults.KillDaemon, Shard: victim}}}
+		legacyChaos = true
+	}
+	if plan != nil {
+		if cfg.Scheme != transport.Flowtune {
+			return nil, fmt.Errorf("experiments: scenario %s: fault plans require the Flowtune scheme, got %s", cfg.Name, cfg.Scheme)
+		}
+		if plan.HasKills() && cfg.Shards <= 1 {
+			return nil, fmt.Errorf("experiments: scenario %s: kill events require Shards > 1", cfg.Name)
+		}
+	}
+	engCfg.TrackRateLatency = cfg.MeasureControlLatency
+	var (
+		cl  *cluster.Cluster
+		cli *transport.ShardedClient
+		srv *server.Server
+	)
 	if cfg.Daemon {
 		if cfg.Scheme != transport.Flowtune {
 			return nil, fmt.Errorf("experiments: scenario %s: Daemon requires the Flowtune scheme, got %s", cfg.Name, cfg.Scheme)
@@ -245,57 +334,84 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			// shards, rate updates are merged back, and boundary prices
 			// are exchanged between the daemons at every tick.
 			clCfg := cluster.Config{Topology: topo, Shards: cfg.Shards}
-			if cfg.ChaosKillStep > 0 {
-				// A chaos run needs peers that detect the kill and adopt
+			if plan != nil && plan.HasKills() {
+				// A kill run needs peers that detect the death and adopt
 				// the orphaned rack block.
 				clCfg.Takeover = true
 			}
-			cl, err := cluster.New(clCfg)
+			cl, err = cluster.New(clCfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 			}
 			defer cl.Close()
-			cli, err := cl.Client(uint64(cfg.Seed))
+			cli, err = cl.Client(uint64(cfg.Seed))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 			}
 			defer cli.Close()
 			engCfg.ExternalAllocator = cli
-			if cfg.ChaosKillStep > 0 {
-				victim := cfg.ChaosKillShard
-				if victim == 0 {
-					victim = cfg.Shards - 1
-				}
-				if victim < 0 || victim >= cfg.Shards {
-					return nil, fmt.Errorf("experiments: scenario %s: ChaosKillShard %d out of range", cfg.Name, victim)
-				}
-				chaos = newChaosBackend(cli, cl, cfg.ChaosKillStep, victim)
-				engCfg.ExternalAllocator = chaos
-			}
 		} else {
 			// Host the allocator in a step-driven flowtuned daemon reached
 			// over an in-memory pipe: flowlet notifications and rate updates
 			// cross the wire protocol, and each simulated allocator tick
 			// becomes one synchronous daemon Step.
-			srv, err := server.New(server.Config{Topology: topo})
+			srv, err = server.New(server.Config{Topology: topo})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 			}
 			defer srv.Close()
 			clientEnd, serverEnd := net.Pipe()
 			go srv.ServeConn(serverEnd)
-			cli, err := transport.NewAllocClient(clientEnd, uint64(cfg.Seed))
+			acli, err := transport.NewAllocClient(clientEnd, uint64(cfg.Seed))
 			if err != nil {
 				srv.Close()
 				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 			}
-			defer cli.Close()
-			engCfg.ExternalAllocator = cli
+			defer acli.Close()
+			engCfg.ExternalAllocator = acli
 		}
 	}
 	eng, err := transport.NewEngine(engCfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+	}
+	// Install the fault injector between the engine and whichever backend it
+	// already has — the in-process allocator, the daemon client, or the
+	// sharded-cluster client; the injector cannot tell the difference.
+	var inj *faults.Injector
+	var synthetic []workload.Flowlet
+	if plan != nil {
+		deps := faults.InjectorConfig{
+			Plan:     *plan,
+			Topology: topo,
+			Fabric:   eng.Network(),
+			Cluster:  cl,
+			Client:   cli,
+		}
+		switch {
+		case cl != nil:
+			deps.Capacity = cl
+		case srv != nil:
+			deps.Capacity = srv
+		default:
+			deps.Capacity = eng.Allocator()
+		}
+		var injErr error
+		if err := eng.WrapBackend(func(inner transport.AllocatorBackend) transport.AllocatorBackend {
+			inj, injErr = faults.NewInjector(deps, inner)
+			if injErr != nil {
+				return inner
+			}
+			return inj
+		}); err != nil {
+			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+		}
+		if injErr != nil {
+			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, injErr)
+		}
+		// Traffic events become synthetic flowlets whose arrivals track the
+		// allocator-step cadence and whose IDs are disjoint from the trace's.
+		synthetic = plan.SyntheticFlowlets(topo.NumServers(), allocatorStepInterval, syntheticFlowIDBase)
 	}
 	trace, err := workload.NewTrace(workload.TraceConfig{
 		Pattern:            cfg.Pattern,
@@ -338,6 +454,11 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if err := pump(); err != nil {
 		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 	}
+	for _, f := range synthetic {
+		if err := eng.AddFlowlet(f); err != nil {
+			return nil, fmt.Errorf("experiments: scenario %s: synthetic flowlet: %w", cfg.Name, err)
+		}
+	}
 	// Run warmup first so goodput can be measured as the delivered-byte
 	// delta over the measurement window alone.
 	eng.Run(cfg.Warmup)
@@ -351,10 +472,26 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 
 	var chaosStats *ChaosStats
-	if chaos != nil {
-		chaosStats, err = chaos.finish()
+	var faultReport *faults.Report
+	if inj != nil {
+		rep, err := inj.Finish(len(synthetic))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
+		}
+		if legacyChaos {
+			// The single-kill plan reports through the pre-existing Chaos
+			// shape, keeping the chaos-failover baseline byte-identical.
+			k := rep.Kills[0]
+			chaosStats = &ChaosStats{
+				KilledShard:   k.Shard,
+				KillStep:      k.Step,
+				AdopterShard:  k.Adopter,
+				RecoverySteps: k.RecoverySteps,
+				AdoptedFlows:  k.AdoptedFlows,
+				Takeovers:     k.Takeovers,
+			}
+		} else {
+			faultReport = rep
 		}
 	}
 
@@ -372,6 +509,39 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		Warmup:   cfg.Warmup,
 		Duration: cfg.Duration,
 		Chaos:    chaosStats,
+		Faults:   faultReport,
+	}
+
+	if cfg.MeasureControlLatency {
+		lat := eng.RateLatencies()
+		ctl := &ControlStats{
+			RateLatencySec:     metrics.Summarize(lat),
+			RateLatencySamples: len(lat),
+		}
+		var stale, iters, updates int64
+		collect := func(s *server.Server) {
+			st := s.Stats()
+			ctl.ExchangeFolds += st.ExchangeFolds
+			stale += st.ExchangeStalenessIters
+			ls := s.LoopStats()
+			iters += ls.Iterations
+			updates += ls.Updates
+		}
+		if cl != nil {
+			for i := 0; i < cl.NumShards(); i++ {
+				collect(cl.Server(i))
+			}
+		} else if srv != nil {
+			collect(srv)
+		}
+		if ctl.ExchangeFolds > 0 {
+			ctl.MeanStalenessIters = float64(stale) / float64(ctl.ExchangeFolds)
+		}
+		ctl.LoopIterations = iters
+		if iters > 0 {
+			ctl.LoopUpdatesPerIteration = float64(updates) / float64(iters)
+		}
+		res.Control = ctl
 	}
 
 	// Statistics over flows that arrived after warmup.
@@ -432,6 +602,26 @@ func (r *ScenarioResult) Render() string {
 		fmt.Fprintf(&b, "  chaos: killed shard %d at step %d, shard %d adopted %d flows in %d steps (%d takeover)\n",
 			r.Chaos.KilledShard, r.Chaos.KillStep, r.Chaos.AdopterShard,
 			r.Chaos.AdoptedFlows, r.Chaos.RecoverySteps, r.Chaos.Takeovers)
+	}
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(&b, "  faults: %d events (%d capacity, %d rehash, %d drain, %d kill), %d synthetic flows\n",
+			f.EventsApplied, f.CapacityChanges, f.Rehashes, f.Drains, len(f.Kills), f.SyntheticFlows)
+		for _, k := range f.Kills {
+			drain := ""
+			if k.DuringDrain {
+				drain = " (during drain)"
+			}
+			fmt.Fprintf(&b, "    kill: shard %d at step %d%s, shard %d adopted %d flows in %d steps (%d takeovers)\n",
+				k.Shard, k.Step, drain, k.Adopter, k.AdoptedFlows, k.RecoverySteps, k.Takeovers)
+		}
+	}
+	if c := r.Control; c != nil {
+		fmt.Fprintf(&b, "  control: first rate after p50 %.1f µs, p99 %.1f µs (%d flows)",
+			c.RateLatencySec.P50*1e6, c.RateLatencySec.P99*1e6, c.RateLatencySamples)
+		if c.ExchangeFolds > 0 {
+			fmt.Fprintf(&b, "; exchange staleness %.2f iters over %d folds", c.MeanStalenessIters, c.ExchangeFolds)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -570,6 +760,113 @@ var namedScenarios = map[string]scenarioSpec{
 				cfg.Shards = 2
 				cfg.ChaosKillStep = 100
 			}
+			return cfg
+		},
+	},
+	"linkdown-websearch": {
+		about: "web-search traffic with a spine uplink dying and another browning out mid-measurement",
+		build: func(short bool) ScenarioConfig {
+			cfg := shrink(ScenarioConfig{
+				Name:     "linkdown-websearch",
+				Workload: workload.WebSearch,
+				Pattern:  workload.PatternUniform,
+				Load:     0.6,
+			}, short)
+			down, degrade := 250, 350
+			if short {
+				down, degrade = 100, 140
+			}
+			cfg.Faults = &faults.Plan{Events: []faults.Event{
+				{Step: down, Kind: faults.LinkDown, Rack: 0, Spine: 1},
+				{Step: degrade, Kind: faults.LinkDegrade, Rack: 1, Spine: 0, Fraction: 0.25},
+			}}
+			return cfg
+		},
+	},
+	"trafficshift-rehash": {
+		about: "web-search traffic hit by an ECMP re-hash and then a sudden permutation overlay",
+		build: func(short bool) ScenarioConfig {
+			cfg := shrink(ScenarioConfig{
+				Name:     "trafficshift-rehash",
+				Workload: workload.WebSearch,
+				Pattern:  workload.PatternUniform,
+				Load:     0.5,
+			}, short)
+			rehash, shift := 200, 300
+			if short {
+				rehash, shift = 80, 120
+			}
+			cfg.Faults = &faults.Plan{Events: []faults.Event{
+				{Step: rehash, Kind: faults.ECMPRehash, Salt: 2654435769},
+				{Step: shift, Kind: faults.TrafficShift, Stride: 3, SizeBytes: 100_000},
+			}}
+			return cfg
+		},
+	},
+	"flashcrowd-incast": {
+		about: "the incast scenario with a synthetic flash-crowd ramping onto one server mid-measurement",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "flashcrowd-incast"
+			step, fanIn := 300, 48
+			if short {
+				step, fanIn = 100, 12
+			}
+			cfg.Faults = &faults.Plan{Events: []faults.Event{
+				{Step: step, Kind: faults.FlashCrowd, Target: 1, FanIn: fanIn, SizeBytes: 51_200, Ramp: 20},
+			}}
+			return cfg
+		},
+	},
+	"cascade-failover": {
+		about: "sharded-incast with two daemons killed in cascade and their rack blocks adopted by survivors",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "cascade-failover"
+			cfg.Daemon = true
+			cfg.Shards = 3
+			step := 300
+			if short {
+				// The 4-rack short fabric needs 4 one-rack shards so two
+				// kills still leave survivors to adopt them.
+				cfg.Shards = 4
+				step = 100
+			}
+			cfg.Faults = &faults.Plan{Events: []faults.Event{
+				{Step: step, Kind: faults.CascadeKill, Shard: cfg.Shards - 1, Count: 2, Spacing: 30},
+			}}
+			return cfg
+		},
+	},
+	"kill-during-drain": {
+		about: "sharded-incast with a daemon drained for handover, then killed before the drain completes",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "kill-during-drain"
+			cfg.Daemon = true
+			cfg.Shards = 3
+			step := 300
+			if short {
+				cfg.Shards = 2
+				step = 100
+			}
+			cfg.Faults = &faults.Plan{Events: []faults.Event{
+				{Step: step, Kind: faults.KillDuringDrain, Shard: cfg.Shards - 1, Delay: 5},
+			}}
+			return cfg
+		},
+	},
+	"freerun-latency": {
+		about: "sharded-incast measuring flowlet-start→rate latency and exchange staleness against the 10 µs budget",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "freerun-latency"
+			cfg.Daemon = true
+			cfg.Shards = 3
+			if short {
+				cfg.Shards = 2
+			}
+			cfg.MeasureControlLatency = true
 			return cfg
 		},
 	},

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PlanFormat is the header line of the plan text format.
+const PlanFormat = "faultplan/v1"
+
+// Encode renders the plan in its canonical text form: the format header,
+// then one line per event in plan order, each a space-separated list of
+// key=value fields starting with step and kind and followed by the kind's
+// meaningful fields in a fixed order. Floats use the shortest exact
+// representation, so Encode∘Parse is the identity on canonical text — the
+// property the fuzz test pins.
+func (p *Plan) Encode() string {
+	var b strings.Builder
+	b.WriteString(PlanFormat)
+	b.WriteByte('\n')
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, "step=%d kind=%s", e.Step, e.Kind)
+		switch e.Kind {
+		case LinkDown:
+			fmt.Fprintf(&b, " rack=%d spine=%d", e.Rack, e.Spine)
+			if e.Down {
+				b.WriteString(" down=true")
+			}
+		case LinkDegrade:
+			fmt.Fprintf(&b, " rack=%d spine=%d", e.Rack, e.Spine)
+			if e.Down {
+				b.WriteString(" down=true")
+			}
+			fmt.Fprintf(&b, " fraction=%s", strconv.FormatFloat(e.Fraction, 'g', -1, 64))
+		case ECMPRehash:
+			fmt.Fprintf(&b, " salt=%d", e.Salt)
+		case KillDaemon:
+			fmt.Fprintf(&b, " shard=%d", e.Shard)
+		case KillDuringDrain:
+			fmt.Fprintf(&b, " shard=%d delay=%d", e.Shard, e.Delay)
+		case CascadeKill:
+			fmt.Fprintf(&b, " shard=%d count=%d spacing=%d", e.Shard, e.Count, e.Spacing)
+		case FlashCrowd:
+			fmt.Fprintf(&b, " target=%d fanin=%d size=%d ramp=%d", e.Target, e.FanIn, e.SizeBytes, e.Ramp)
+		case TrafficShift:
+			fmt.Fprintf(&b, " stride=%d size=%d", e.Stride, e.SizeBytes)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse decodes a plan from its text form. It is strict — unknown keys,
+// duplicate keys, malformed values, a missing header, or an event that
+// fails Validate are all errors — and never panics on malformed input.
+func Parse(text string) (*Plan, error) {
+	lines := strings.Split(text, "\n")
+	p := &Plan{}
+	sawHeader := false
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sawHeader {
+			if line != PlanFormat {
+				return nil, fmt.Errorf("faults: line %d: expected header %q, got %q", ln+1, PlanFormat, line)
+			}
+			sawHeader = true
+			continue
+		}
+		e, err := parseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("faults: line %d: %w", ln+1, err)
+		}
+		p.Events = append(p.Events, e)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("faults: empty plan text (missing %q header)", PlanFormat)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseEvent(line string) (Event, error) {
+	var e Event
+	seen := map[string]bool{}
+	sawStep, sawKind := false, false
+	for _, field := range strings.Fields(line) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || key == "" || val == "" {
+			return e, fmt.Errorf("malformed field %q", field)
+		}
+		if seen[key] {
+			return e, fmt.Errorf("duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "step":
+			e.Step, err = parseInt(val)
+			sawStep = true
+		case "kind":
+			e.Kind, err = ParseKind(val)
+			sawKind = true
+		case "rack":
+			e.Rack, err = parseInt(val)
+		case "spine":
+			e.Spine, err = parseInt(val)
+		case "down":
+			e.Down, err = strconv.ParseBool(val)
+		case "fraction":
+			e.Fraction, err = strconv.ParseFloat(val, 64)
+		case "salt":
+			e.Salt, err = strconv.ParseUint(val, 10, 64)
+		case "shard":
+			e.Shard, err = parseInt(val)
+		case "delay":
+			e.Delay, err = parseInt(val)
+		case "count":
+			e.Count, err = parseInt(val)
+		case "spacing":
+			e.Spacing, err = parseInt(val)
+		case "target":
+			e.Target, err = parseInt(val)
+		case "fanin":
+			e.FanIn, err = parseInt(val)
+		case "size":
+			e.SizeBytes, err = strconv.ParseInt(val, 10, 64)
+		case "ramp":
+			e.Ramp, err = parseInt(val)
+		case "stride":
+			e.Stride, err = parseInt(val)
+		default:
+			return e, fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return e, fmt.Errorf("field %q: %w", field, err)
+		}
+	}
+	if !sawStep || !sawKind {
+		return e, fmt.Errorf("event %q needs both step= and kind=", line)
+	}
+	return e, nil
+}
+
+func parseInt(s string) (int, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < int64(minInt) || v > int64(maxInt) {
+		return 0, strconv.ErrRange
+	}
+	return int(v), nil
+}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)

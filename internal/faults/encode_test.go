@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fullPlan exercises every event kind and every encoded field.
+func fullPlan() *Plan {
+	return &Plan{Events: []Event{
+		{Step: 10, Kind: LinkDown, Rack: 0, Spine: 1},
+		{Step: 20, Kind: LinkDown, Rack: 2, Spine: 0, Down: true},
+		{Step: 30, Kind: LinkDegrade, Rack: 1, Spine: 1, Fraction: 0.25},
+		{Step: 40, Kind: ECMPRehash, Salt: 2654435769},
+		{Step: 50, Kind: KillDaemon, Shard: 2},
+		{Step: 60, Kind: KillDuringDrain, Shard: 1, Delay: 5},
+		{Step: 70, Kind: CascadeKill, Shard: 3, Count: 2, Spacing: 30},
+		{Step: 80, Kind: FlashCrowd, Target: 4, FanIn: 12, SizeBytes: 51200, Ramp: 20},
+		{Step: 90, Kind: TrafficShift, Stride: 3, SizeBytes: 100000},
+	}}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	p := fullPlan()
+	text := p.Encode()
+	if !strings.HasPrefix(text, PlanFormat+"\n") {
+		t.Fatalf("encoded plan missing header:\n%s", text)
+	}
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Encode(p)): %v", err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip differs:\n in %+v\nout %+v", p.Events, q.Events)
+	}
+	if again := q.Encode(); again != text {
+		t.Fatalf("Encode not a fixpoint:\n 1st %q\n 2nd %q", text, again)
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# a fault plan\n\n" + PlanFormat + "\n\n# mid-plan comment\nstep=3 kind=kill-daemon shard=1\n"
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 1 || p.Events[0].Shard != 1 {
+		t.Fatalf("parsed %+v; want one kill of shard 1", p.Events)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"missing header", "step=1 kind=link-down\n"},
+		{"wrong header", "faultplan/v0\n"},
+		{"unknown kind", PlanFormat + "\nstep=1 kind=meteor\n"},
+		{"unknown key", PlanFormat + "\nstep=1 kind=link-down color=red\n"},
+		{"duplicate key", PlanFormat + "\nstep=1 step=2 kind=link-down\n"},
+		{"malformed field", PlanFormat + "\nstep=1 kind=link-down rack\n"},
+		{"empty value", PlanFormat + "\nstep=1 kind=link-down rack=\n"},
+		{"bad int", PlanFormat + "\nstep=banana kind=link-down\n"},
+		{"int overflow", PlanFormat + "\nstep=99999999999999999999 kind=link-down\n"},
+		{"missing step", PlanFormat + "\nkind=link-down\n"},
+		{"missing kind", PlanFormat + "\nstep=1\n"},
+		{"fails validate", PlanFormat + "\nstep=1 kind=ecmp-rehash salt=0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.text); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.text)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package faults is the deterministic fault-injection layer: a scriptable,
+// typed schedule of adversarial events applied at exact allocator-step
+// boundaries through the engine's backend seam.
+//
+// A Plan is a list of Events, each pinned to a 1-based allocator step. The
+// Injector wraps the engine's AllocatorBackend (the in-process allocator, a
+// daemon client, or a sharded-cluster client — it cannot tell the
+// difference) and, on each Step, first applies every event that has come
+// due, then forwards the step, then shepherds the recovery of any
+// outstanding daemon kills exactly the way the retired chaos backend did.
+// Because every mutation lands between two allocator iterations and every
+// observable it drives (capacity re-pricing, ECMP re-hash, drain, kill,
+// takeover, failover) is itself step-driven, two seeded runs of a faulted
+// scenario are byte-identical.
+//
+// Traffic events (FlashCrowd, TrafficShift) are not applied by the
+// Injector: the plan is known before the run starts, so the scenario runner
+// materializes them up front as synthetic flowlets (SyntheticFlowlets)
+// whose arrival times coincide with the event's step. The runtime schedule
+// and the traffic schedule come from the same Plan, keeping a scenario's
+// entire adversarial script in one declarative object.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Kind enumerates the fault-event types.
+type Kind uint8
+
+const (
+	// LinkDown degrades a fabric link to DeadLinkFraction of its capacity.
+	// True zero would make the NUM price update ill-defined and strand
+	// in-flight packets forever; a dead-but-drainable link models the
+	// same outage with tame numerics.
+	LinkDown Kind = iota
+	// LinkDegrade reduces a fabric link to Fraction of its capacity
+	// (brown-out, autoneg downshift, a flapping optic).
+	LinkDegrade
+	// ECMPRehash re-seeds the fabric's ECMP hash with Salt. Paths already
+	// installed in the data plane keep their links; flows routed after
+	// the event — including the arbiter's view of late-registering
+	// flowlets — see the new mapping, so arbiter and fabric can disagree.
+	ECMPRehash
+	// KillDaemon abruptly closes shard Shard's daemon (no drain, no
+	// snapshot) and shepherds the takeover/failover recovery.
+	KillDaemon
+	// KillDuringDrain drains shard Shard at Step, then kills it Delay
+	// steps later — the operator's graceful handover interrupted by the
+	// failure it was trying to get ahead of.
+	KillDuringDrain
+	// CascadeKill kills Count shards, starting at Shard and walking
+	// downward through the ring, Spacing steps apart.
+	CascadeKill
+	// FlashCrowd adds a synthetic incast: FanIn senders each send
+	// SizeBytes to server Target, their starts ramped over Ramp steps.
+	FlashCrowd
+	// TrafficShift overlays a permutation: every server sends SizeBytes
+	// to the server Stride positions ahead, all starting at Step — a
+	// sudden change of the traffic matrix.
+	TrafficShift
+
+	numKinds
+)
+
+// DeadLinkFraction is the remaining capacity fraction a LinkDown leaves
+// (one-millionth: ~10 kbit/s on a 10 Gbit/s link).
+const DeadLinkFraction = 1e-6
+
+var kindNames = [numKinds]string{
+	LinkDown:        "link-down",
+	LinkDegrade:     "link-degrade",
+	ECMPRehash:      "ecmp-rehash",
+	KillDaemon:      "kill-daemon",
+	KillDuringDrain: "kill-during-drain",
+	CascadeKill:     "cascade-kill",
+	FlashCrowd:      "flash-crowd",
+	TrafficShift:    "traffic-shift",
+}
+
+// String returns the kind's canonical plan-format name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown event kind %q", s)
+}
+
+// Event is one scheduled fault. Step is the 1-based allocator step the event
+// fires at: it is applied after step Step-1 completes and before step Step
+// runs, so step Step is the first iteration that sees the mutated world.
+// Which other fields are meaningful depends on Kind; Validate enforces the
+// per-kind requirements.
+type Event struct {
+	Step int
+	Kind Kind
+
+	// Link events address a two-tier fabric link symbolically, so one plan
+	// resolves against both the full and the shrunk scenario fabrics:
+	// rack Rack's uplink to spine Spine, or — with Down — the reverse
+	// downlink. Fraction is the remaining capacity for LinkDegrade.
+	Rack     int
+	Spine    int
+	Down     bool
+	Fraction float64
+
+	// Salt re-seeds ECMP for ECMPRehash (must be non-zero).
+	Salt uint64
+
+	// Shard is the victim daemon of the kill/drain events. Delay is
+	// KillDuringDrain's drain→kill gap in steps; Count and Spacing shape
+	// a CascadeKill.
+	Shard   int
+	Delay   int
+	Count   int
+	Spacing int
+
+	// Traffic events: FanIn senders each send SizeBytes to Target, ramped
+	// over Ramp steps (FlashCrowd); every server sends SizeBytes to the
+	// server Stride ahead (TrafficShift).
+	Target    int
+	FanIn     int
+	SizeBytes int64
+	Ramp      int
+	Stride    int
+}
+
+// Plan is a fault schedule: events sorted by step (Normalize restores the
+// order; equal steps keep their listed order).
+type Plan struct {
+	Events []Event
+}
+
+// Normalize sorts the events by step, preserving the relative order of
+// events sharing a step.
+func (p *Plan) Normalize() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Step < p.Events[j].Step })
+}
+
+// Validate checks every event's intrinsic constraints (range checks against
+// a concrete fabric and cluster happen when the Injector is built).
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("faults: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (e Event) validate() error {
+	if e.Step < 1 {
+		return fmt.Errorf("step %d must be >= 1", e.Step)
+	}
+	if e.Kind >= numKinds {
+		return fmt.Errorf("unknown kind %d", e.Kind)
+	}
+	switch e.Kind {
+	case LinkDown:
+		if e.Rack < 0 || e.Spine < 0 {
+			return fmt.Errorf("%s: rack %d / spine %d must be non-negative", e.Kind, e.Rack, e.Spine)
+		}
+	case LinkDegrade:
+		if e.Rack < 0 || e.Spine < 0 {
+			return fmt.Errorf("%s: rack %d / spine %d must be non-negative", e.Kind, e.Rack, e.Spine)
+		}
+		if !(e.Fraction > 0 && e.Fraction <= 1) || math.IsNaN(e.Fraction) {
+			return fmt.Errorf("%s: fraction %g must be in (0, 1]", e.Kind, e.Fraction)
+		}
+	case ECMPRehash:
+		if e.Salt == 0 {
+			return fmt.Errorf("%s: salt must be non-zero", e.Kind)
+		}
+	case KillDaemon:
+		if e.Shard < 0 {
+			return fmt.Errorf("%s: shard %d must be non-negative", e.Kind, e.Shard)
+		}
+	case KillDuringDrain:
+		if e.Shard < 0 {
+			return fmt.Errorf("%s: shard %d must be non-negative", e.Kind, e.Shard)
+		}
+		if e.Delay < 1 {
+			return fmt.Errorf("%s: delay %d must be >= 1 (the drain must precede the kill)", e.Kind, e.Delay)
+		}
+	case CascadeKill:
+		if e.Shard < 0 {
+			return fmt.Errorf("%s: shard %d must be non-negative", e.Kind, e.Shard)
+		}
+		if e.Count < 1 {
+			return fmt.Errorf("%s: count %d must be >= 1", e.Kind, e.Count)
+		}
+		if e.Spacing < 0 {
+			return fmt.Errorf("%s: spacing %d must be non-negative", e.Kind, e.Spacing)
+		}
+	case FlashCrowd:
+		if e.Target < 0 {
+			return fmt.Errorf("%s: target %d must be non-negative", e.Kind, e.Target)
+		}
+		if e.FanIn < 1 {
+			return fmt.Errorf("%s: fan-in %d must be >= 1", e.Kind, e.FanIn)
+		}
+		if e.SizeBytes < 1 {
+			return fmt.Errorf("%s: size %d must be >= 1 byte", e.Kind, e.SizeBytes)
+		}
+		if e.Ramp < 0 {
+			return fmt.Errorf("%s: ramp %d must be non-negative", e.Kind, e.Ramp)
+		}
+	case TrafficShift:
+		if e.Stride < 1 {
+			return fmt.Errorf("%s: stride %d must be >= 1", e.Kind, e.Stride)
+		}
+		if e.SizeBytes < 1 {
+			return fmt.Errorf("%s: size %d must be >= 1 byte", e.Kind, e.SizeBytes)
+		}
+	}
+	return nil
+}
+
+// HasKills reports whether the plan contains daemon-kill events (KillDaemon,
+// KillDuringDrain, CascadeKill) — the events that require a takeover-enabled
+// sharded cluster.
+func (p *Plan) HasKills() bool {
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KillDaemon, KillDuringDrain, CascadeKill:
+			return true
+		}
+	}
+	return false
+}
+
+// SyntheticFlowlets materializes the plan's traffic events (FlashCrowd,
+// TrafficShift) into flowlets over a fabric of numServers servers, with
+// stepInterval the allocator's iteration period (an event at step S produces
+// arrivals from sim time S×stepInterval, matching the moment the Injector
+// applies runtime events of the same step). IDs are assigned sequentially
+// from idBase, which must be disjoint from the workload trace's ID space.
+func (p *Plan) SyntheticFlowlets(numServers int, stepInterval float64, idBase int64) []workload.Flowlet {
+	var out []workload.Flowlet
+	id := idBase
+	for _, e := range p.Events {
+		base := float64(e.Step) * stepInterval
+		switch e.Kind {
+		case FlashCrowd:
+			target := e.Target % numServers
+			for i := 0; i < e.FanIn; i++ {
+				src := (target + 1 + i) % numServers
+				if src == target {
+					continue
+				}
+				arrival := base
+				if e.FanIn > 1 {
+					arrival += float64(e.Ramp) * stepInterval * float64(i) / float64(e.FanIn-1)
+				}
+				out = append(out, workload.Flowlet{
+					ID: id, Arrival: arrival,
+					Src: src, Dst: target, SizeBytes: e.SizeBytes,
+				})
+				id++
+			}
+		case TrafficShift:
+			for s := 0; s < numServers; s++ {
+				dst := (s + e.Stride) % numServers
+				if dst == s {
+					continue
+				}
+				out = append(out, workload.Flowlet{
+					ID: id, Arrival: base,
+					Src: s, Dst: dst, SizeBytes: e.SizeBytes,
+				})
+				id++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("unknown kind name accepted")
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"linkdown ok", Event{Step: 1, Kind: LinkDown}, true},
+		{"zero step", Event{Step: 0, Kind: LinkDown}, false},
+		{"negative rack", Event{Step: 1, Kind: LinkDown, Rack: -1}, false},
+		{"degrade ok", Event{Step: 1, Kind: LinkDegrade, Fraction: 0.5}, true},
+		{"degrade zero fraction", Event{Step: 1, Kind: LinkDegrade}, false},
+		{"degrade over one", Event{Step: 1, Kind: LinkDegrade, Fraction: 1.5}, false},
+		{"degrade nan", Event{Step: 1, Kind: LinkDegrade, Fraction: math.NaN()}, false},
+		{"rehash ok", Event{Step: 1, Kind: ECMPRehash, Salt: 1}, true},
+		{"rehash zero salt", Event{Step: 1, Kind: ECMPRehash}, false},
+		{"kill ok", Event{Step: 1, Kind: KillDaemon}, true},
+		{"kill negative shard", Event{Step: 1, Kind: KillDaemon, Shard: -1}, false},
+		{"drain-kill ok", Event{Step: 1, Kind: KillDuringDrain, Delay: 1}, true},
+		{"drain-kill no delay", Event{Step: 1, Kind: KillDuringDrain}, false},
+		{"cascade ok", Event{Step: 1, Kind: CascadeKill, Count: 2}, true},
+		{"cascade zero count", Event{Step: 1, Kind: CascadeKill}, false},
+		{"cascade negative spacing", Event{Step: 1, Kind: CascadeKill, Count: 1, Spacing: -1}, false},
+		{"flash-crowd ok", Event{Step: 1, Kind: FlashCrowd, FanIn: 3, SizeBytes: 100}, true},
+		{"flash-crowd no size", Event{Step: 1, Kind: FlashCrowd, FanIn: 3}, false},
+		{"flash-crowd no fan-in", Event{Step: 1, Kind: FlashCrowd, SizeBytes: 100}, false},
+		{"shift ok", Event{Step: 1, Kind: TrafficShift, Stride: 1, SizeBytes: 1}, true},
+		{"shift zero stride", Event{Step: 1, Kind: TrafficShift, SizeBytes: 1}, false},
+		{"unknown kind", Event{Step: 1, Kind: numKinds}, false},
+	}
+	for _, c := range cases {
+		p := &Plan{Events: []Event{c.ev}}
+		err := p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid event accepted", c.name)
+		}
+	}
+}
+
+func TestNormalizeStable(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Step: 5, Kind: KillDaemon, Shard: 0},
+		{Step: 2, Kind: LinkDown, Rack: 1},
+		{Step: 5, Kind: ECMPRehash, Salt: 9},
+	}}
+	p.Normalize()
+	if p.Events[0].Step != 2 {
+		t.Fatalf("first event at step %d; want 2", p.Events[0].Step)
+	}
+	// Equal steps keep their listed order.
+	if p.Events[1].Kind != KillDaemon || p.Events[2].Kind != ECMPRehash {
+		t.Fatalf("step-5 events reordered: %v, %v", p.Events[1].Kind, p.Events[2].Kind)
+	}
+}
+
+func TestHasKills(t *testing.T) {
+	if (&Plan{Events: []Event{{Step: 1, Kind: LinkDown}}}).HasKills() {
+		t.Error("link plan reports kills")
+	}
+	for _, k := range []Kind{KillDaemon, KillDuringDrain, CascadeKill} {
+		if !(&Plan{Events: []Event{{Step: 1, Kind: k}}}).HasKills() {
+			t.Errorf("%s plan reports no kills", k)
+		}
+	}
+}
+
+func TestSyntheticFlowletsFlashCrowd(t *testing.T) {
+	const interval = 10e-6
+	p := &Plan{Events: []Event{
+		{Step: 100, Kind: FlashCrowd, Target: 1, FanIn: 3, SizeBytes: 10, Ramp: 2},
+	}}
+	fl := p.SyntheticFlowlets(16, interval, 1<<40)
+	if len(fl) != 3 {
+		t.Fatalf("got %d flowlets; want 3", len(fl))
+	}
+	base := 100 * interval
+	for i, f := range fl {
+		if f.ID != int64(1<<40)+int64(i) {
+			t.Errorf("flowlet %d ID = %d; want sequential from 1<<40", i, f.ID)
+		}
+		if f.Dst != 1 || f.Src == 1 {
+			t.Errorf("flowlet %d endpoints %d→%d; want distinct senders into 1", i, f.Src, f.Dst)
+		}
+		want := base + float64(i)*interval // ramp 2 steps over fan-in 3 → one interval apart
+		if math.Abs(f.Arrival-want) > 1e-15 {
+			t.Errorf("flowlet %d arrival %g; want %g", i, f.Arrival, want)
+		}
+	}
+}
+
+func TestSyntheticFlowletsTrafficShift(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Step: 50, Kind: TrafficShift, Stride: 1, SizeBytes: 7},
+	}}
+	fl := p.SyntheticFlowlets(4, 10e-6, 0)
+	if len(fl) != 4 {
+		t.Fatalf("got %d flowlets; want 4", len(fl))
+	}
+	for _, f := range fl {
+		if f.Dst != (f.Src+1)%4 || f.SizeBytes != 7 || f.Arrival != 50*10e-6 {
+			t.Errorf("unexpected flowlet %+v", f)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package faults
+
+import "testing"
+
+// FuzzPlanRoundTrip feeds arbitrary text through the plan parser and, for
+// anything that parses, requires the encoder to reach a canonical fixpoint:
+// Encode(Parse(x)) must itself parse, and re-encoding that parse must be
+// byte-identical. The parser must never panic on malformed input. Same idiom
+// as the wire-format fuzz tests.
+func FuzzPlanRoundTrip(f *testing.F) {
+	f.Add(fullPlan().Encode())
+	f.Add(PlanFormat + "\n")
+	f.Add(PlanFormat + "\nstep=1 kind=link-down rack=0 spine=1 down=true\n")
+	f.Add(PlanFormat + "\nstep=2 kind=link-degrade rack=1 spine=0 fraction=0.25\n")
+	f.Add(PlanFormat + "\nstep=3 kind=kill-during-drain shard=1 delay=5\n")
+	f.Add(PlanFormat + "\n# comment\nstep=4 kind=flash-crowd target=0 fanin=8 size=100 ramp=2\n")
+	f.Add("step=1 kind=link-down\n")
+	f.Add("garbage\x00\xff")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return
+		}
+		enc := p.Encode()
+		q, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical text rejected: %v\n%q", err, enc)
+		}
+		if again := q.Encode(); again != enc {
+			t.Fatalf("encode not a fixpoint:\n 1st %q\n 2nd %q", enc, again)
+		}
+	})
+}

@@ -92,6 +92,24 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
+// SetCapacity replaces one link's capacity in place. Solvers read Capacities
+// fresh on every step and the compiled CSR index holds only routes and
+// weights, so the change re-prices the link on the very next iteration with
+// no rebuild and no state loss — the mechanism live link degradation rides
+// on. The new capacity must be positive and finite (model a dead link as a
+// tiny fraction of its former capacity, not zero, to keep the price update
+// well-defined).
+func (p *Problem) SetCapacity(link int, capacity float64) error {
+	if link < 0 || link >= len(p.Capacities) {
+		return fmt.Errorf("num: SetCapacity link %d out of range (%d links)", link, len(p.Capacities))
+	}
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return fmt.Errorf("num: SetCapacity link %d: invalid capacity %g", link, capacity)
+	}
+	p.Capacities[link] = capacity
+	return nil
+}
+
 // State is the mutable solver state for a Problem: link prices and flow
 // rates. Prices persist across flow churn (the optimizer warm-starts from the
 // previous prices, §4), which is why State is separate from Problem.

@@ -799,6 +799,14 @@ func (s *Server) foldExchangeLocked() {
 	digests := false
 	for _, m := range apply {
 		s.stPeerEx.Add(1)
+		// Staleness: how many local iterations old the peer's bundle is at
+		// the moment it takes effect. Step-driven daemons fold at exactly
+		// seq+1 (staleness 1); free-running daemons can fold older — or,
+		// clamped to zero, newer — bundles depending on scheduling.
+		s.stExchFolds.Add(1)
+		if lag := int64(s.seq) - int64(m.seq); lag > 0 {
+			s.stExchStale.Add(lag)
+		}
 		if m.takeover {
 			s.applyTakeoverLocked(int(m.dead), int(m.from))
 			digests = true // peer contributions changed; re-sum below

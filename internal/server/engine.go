@@ -17,6 +17,9 @@ type engine interface {
 	Iterate() []core.RateUpdate
 	NumFlows() int
 	Rates() map[core.FlowID]float64
+	// SetLinkCapacity changes one link's raw capacity in place; the next
+	// Iterate re-prices against it (see core.Allocator.SetLinkCapacity).
+	SetLinkCapacity(l topology.LinkID, capacity float64) error
 	Close()
 }
 
@@ -53,6 +56,9 @@ func (e *coreEngine) Iterate() []core.RateUpdate      { return e.alloc.Iterate()
 func (e *coreEngine) NumFlows() int                   { return e.alloc.NumFlows() }
 func (e *coreEngine) Rates() map[core.FlowID]float64  { return e.alloc.Rates() }
 func (e *coreEngine) Close()                          {}
+func (e *coreEngine) SetLinkCapacity(l topology.LinkID, capacity float64) error {
+	return e.alloc.SetLinkCapacity(l, capacity)
+}
 
 func (e *coreEngine) LiveFlows() []core.ParallelFlow { return e.alloc.LiveFlows() }
 
@@ -131,5 +137,9 @@ func (e *parallelEngine) NumFlows() int { return e.pa.NumFlows() }
 func (e *parallelEngine) Rates() map[core.FlowID]float64 { return e.pa.Rates() }
 
 func (e *parallelEngine) Close() { e.pa.Close() }
+
+func (e *parallelEngine) SetLinkCapacity(l topology.LinkID, capacity float64) error {
+	return e.pa.SetLinkCapacity(l, capacity)
+}
 
 func (e *parallelEngine) LiveFlows() []core.ParallelFlow { return e.pa.LiveFlows() }

@@ -125,6 +125,15 @@ type Stats struct {
 	// DrainRejects counts flowlet adds refused because the daemon was
 	// draining.
 	DrainRejects int64
+	// ExchangeFolds counts peer exchange messages folded into an
+	// iteration; ExchangeStalenessIters sums, over those folds, how many
+	// iterations old each message's originating sequence number was at
+	// fold time (clamped at zero for free-running daemons that fold a
+	// peer's newer bundle). ExchangeStalenessIters/ExchangeFolds is the
+	// mean boundary-price staleness in allocator iterations — the
+	// paper's control-loop freshness budget, observable per daemon.
+	ExchangeFolds          int64
+	ExchangeStalenessIters int64
 }
 
 // flowMeta is the registration a flow without an owning session was created
@@ -194,6 +203,8 @@ type Server struct {
 	stAdopted   atomic.Int64
 	stTakeovers atomic.Int64
 	stDrainRej  atomic.Int64
+	stExchFolds atomic.Int64
+	stExchStale atomic.Int64
 
 	// epoch is the allocator generation announced in handshakes; BumpEpoch
 	// advances it mid-run and notifies connected clients.
@@ -351,7 +362,25 @@ func (s *Server) Stats() Stats {
 		AdoptedFlows:     s.stAdopted.Load(),
 		Takeovers:        s.stTakeovers.Load(),
 		DrainRejects:     s.stDrainRej.Load(),
+
+		ExchangeFolds:          s.stExchFolds.Load(),
+		ExchangeStalenessIters: s.stExchStale.Load(),
 	}
+}
+
+// SetLinkCapacity changes one fabric link's raw capacity in the daemon's
+// engine. It serializes with the iteration loop under the server mutex, so a
+// call between steps of a step-driven daemon lands at an exact iteration
+// boundary and the very next Iterate re-prices the link — no engine rebuild,
+// no flow churn. Closed daemons reject the call so a cluster-wide broadcast
+// can skip dead shards explicitly.
+func (s *Server) SetLinkCapacity(l topology.LinkID, capacity float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return net.ErrClosed
+	}
+	return s.eng.SetLinkCapacity(l, capacity)
 }
 
 // Rates returns the engine's current rates keyed by flow ID (a diagnostic

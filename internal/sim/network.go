@@ -154,6 +154,23 @@ func (n *Network) Link(id topology.LinkID) *Link { return n.links[id] }
 // Links returns all simulated links indexed by LinkID.
 func (n *Network) Links() []*Link { return n.links }
 
+// SetLinkRate changes a link's transmission rate mid-run. The packet
+// currently serializing (if any) finishes at the old rate; every subsequent
+// dequeue — and every queue sample — uses the new one, which is exactly how
+// a degraded or administratively shaped physical link behaves. Rate must be
+// positive (model a dead link as a tiny fraction of its former rate so
+// in-flight packets still drain, just impossibly slowly).
+func (n *Network) SetLinkRate(id topology.LinkID, rate float64) error {
+	if id < 0 || int(id) >= len(n.links) {
+		return fmt.Errorf("sim: SetLinkRate link %d out of range (%d links)", id, len(n.links))
+	}
+	if !(rate > 0) {
+		return fmt.Errorf("sim: SetLinkRate link %d: invalid rate %g", id, rate)
+	}
+	n.links[id].rate = rate
+	return nil
+}
+
 // RegisterHost installs the delivery handler for a server index.
 func (n *Network) RegisterHost(server int, handler func(*Packet)) {
 	n.handlers[server] = handler

@@ -33,6 +33,9 @@ type RouteCache struct {
 	topo    *Topology
 	choices int
 	paths   map[routeKey]Path
+	// salt is the topology route salt the cached paths were computed
+	// under; Route drops the whole cache when the fabric re-hashes.
+	salt uint64
 }
 
 // NewRouteCache creates an empty route cache over t.
@@ -41,6 +44,7 @@ func NewRouteCache(t *Topology) *RouteCache {
 		topo:    t,
 		choices: t.routeChoices(),
 		paths:   make(map[routeKey]Path),
+		salt:    t.RouteSalt(),
 	}
 }
 
@@ -51,6 +55,12 @@ func (rc *RouteCache) Len() int { return len(rc.paths) }
 // choice, computing and caching it on first use. It returns exactly what
 // Topology.Route would.
 func (rc *RouteCache) Route(src, dst int, choice int) (Path, error) {
+	if s := rc.topo.RouteSalt(); s != rc.salt {
+		// The fabric re-seeded its ECMP hash: every cached path may now
+		// be stale, so start over.
+		rc.salt = s
+		clear(rc.paths)
+	}
 	if choice < 0 {
 		// Negative choices decompose differently under truncated division
 		// in the fat-tree router; they do not occur on the churn path

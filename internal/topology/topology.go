@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // NodeKind identifies the role of a node in the fabric.
@@ -69,7 +70,10 @@ type Link struct {
 	Up bool
 }
 
-// Topology is an immutable description of a two-tier Clos fabric.
+// Topology is a description of a two-tier Clos fabric. The node and link
+// structure is immutable after construction; the only mutable piece is the
+// ECMP route salt (see SetRouteSalt), which models the fabric re-seeding its
+// ECMP hash function.
 //
 // Construct one with NewTwoTier; the zero value is not usable.
 type Topology struct {
@@ -77,6 +81,12 @@ type Topology struct {
 	links []Link
 
 	cfg Config
+
+	// routeSalt is folded into every ECMP path choice (see Route). It is
+	// atomic so fault injection can re-hash a fabric shared with
+	// free-running daemons; step-driven runs mutate it only at iteration
+	// boundaries, keeping routing deterministic.
+	routeSalt atomic.Uint64
 
 	// serverIDs[i] is the NodeID of server i.
 	serverIDs []NodeID
@@ -278,6 +288,38 @@ func (t *Topology) LinkBetween(src, dst NodeID) (LinkID, bool) {
 	return id, ok
 }
 
+// UplinkID returns the ToR→spine uplink from rack r to spine (or
+// aggregation switch) s, if one exists. Fault plans address fabric links
+// symbolically by (rack, spine) so the same plan resolves against both the
+// full and the shrunk scenario fabrics.
+func (t *Topology) UplinkID(rack, spine int) (LinkID, bool) {
+	if rack < 0 || rack >= len(t.torIDs) || spine < 0 || spine >= len(t.spineIDs) {
+		return 0, false
+	}
+	return t.LinkBetween(t.torIDs[rack], t.spineIDs[spine])
+}
+
+// DownlinkID returns the spine→ToR downlink from spine s to rack r, if one
+// exists. It is the reverse direction of UplinkID.
+func (t *Topology) DownlinkID(spine, rack int) (LinkID, bool) {
+	if rack < 0 || rack >= len(t.torIDs) || spine < 0 || spine >= len(t.spineIDs) {
+		return 0, false
+	}
+	return t.LinkBetween(t.spineIDs[spine], t.torIDs[rack])
+}
+
+// SetRouteSalt replaces the ECMP hash salt. Route folds the salt into the
+// caller-supplied path choice, so changing it re-hashes every cross-rack
+// path — the fault layer's model of a fabric-wide ECMP re-seed. Paths
+// already installed in the data plane keep their old links (the simulator
+// routes a flowlet once, at start); only paths routed after the change see
+// the new mapping, which is exactly the arbiter/fabric divergence hazard
+// the ecmp-rehash scenarios exercise.
+func (t *Topology) SetRouteSalt(salt uint64) { t.routeSalt.Store(salt) }
+
+// RouteSalt returns the current ECMP hash salt.
+func (t *Topology) RouteSalt() uint64 { return t.routeSalt.Load() }
+
 // Capacities returns a slice of link capacities indexed by LinkID.
 func (t *Topology) Capacities() []float64 {
 	caps := make([]float64, len(t.links))
@@ -303,6 +345,13 @@ func (t *Topology) Route(src, dst int, spineChoice int) (Path, error) {
 	}
 	if src == dst {
 		return nil, fmt.Errorf("topology: source and destination are the same server %d", src)
+	}
+	if salt := t.routeSalt.Load(); salt != 0 {
+		// A bounded additive perturbation keeps Route periodic in the
+		// fabric's ECMP fan-out (both the two-tier spine pick and the
+		// fat-tree choice decomposition are modulo-arithmetic), so the
+		// RouteCache's canonicalized keys stay correct under any salt.
+		spineChoice += int(salt % (1 << 20))
 	}
 	if t.fatTree != nil {
 		return t.routeFatTree(src, dst, spineChoice), nil

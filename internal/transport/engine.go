@@ -42,6 +42,13 @@ type EngineConfig struct {
 	// core.Allocator. Control messages still traverse the simulated
 	// fabric; only the allocator computation moves out of process.
 	ExternalAllocator AllocatorBackend
+	// TrackRateLatency records, for every flowlet, the simulated time from
+	// its start (when the flowlet-start notification leaves the sender)
+	// until the first allocator rate update arrives back at the sender —
+	// the paper's flowlet-start→rate-arrival control-loop latency. The
+	// samples are in sim time, so they are byte-deterministic even though
+	// the path includes the allocator's iteration alignment. Flowtune only.
+	TrackRateLatency bool
 }
 
 // withDefaults fills unset fields.
@@ -99,6 +106,11 @@ type Engine struct {
 	ctrlFromAlloc  map[int][]int32 // control path from the allocator to each server
 	controlPackets int64
 	controlBytes   int64
+
+	// rateSeen and rateLatencies implement TrackRateLatency: one sample
+	// per flowlet, appended in rate-arrival order.
+	rateSeen      map[int64]bool
+	rateLatencies []float64
 }
 
 // NewEngine creates an engine for the given configuration.
@@ -324,6 +336,10 @@ func (e *Engine) hostReceive(server int, p *sim.Packet) {
 		}
 		if ft, ok := c.snd.(*flowtuneSender); ok {
 			ft.setRate(c, p.Ctrl.Rate)
+			if e.rateSeen != nil && !e.rateSeen[p.Ctrl.Flow] {
+				e.rateSeen[p.Ctrl.Flow] = true
+				e.rateLatencies = append(e.rateLatencies, e.sim.Now()-e.records[c.recordIdx].Start)
+			}
 		}
 	}
 }
@@ -357,6 +373,9 @@ func (e *Engine) setupAllocator() error {
 		return fmt.Errorf("transport: Flowtune requires a topology with an allocator host")
 	}
 	e.registered = make(map[core.FlowID]bool)
+	if e.cfg.TrackRateLatency {
+		e.rateSeen = make(map[int64]bool)
+	}
 	if e.cfg.ExternalAllocator != nil {
 		e.backend = e.cfg.ExternalAllocator
 	} else {
@@ -390,6 +409,29 @@ func (e *Engine) setupAllocator() error {
 	e.net.RegisterAllocatorHost(e.allocatorReceive)
 	return nil
 }
+
+// WrapBackend replaces the allocator backend with wrap(current backend).
+// This is the seam the fault-injection layer uses: the wrapper sees every
+// FlowletStart/FlowletEnd/Step exactly where the fabric-terminated control
+// plane does, regardless of whether the inner backend is the in-process
+// allocator, a daemon client, or a sharded-cluster client. It must be called
+// before Run and only for the Flowtune scheme.
+func (e *Engine) WrapBackend(wrap func(AllocatorBackend) AllocatorBackend) error {
+	if e.backend == nil {
+		return fmt.Errorf("transport: WrapBackend requires the Flowtune scheme")
+	}
+	if e.allocRunning {
+		return fmt.Errorf("transport: WrapBackend must be called before Run")
+	}
+	e.backend = wrap(e.backend)
+	return nil
+}
+
+// RateLatencies returns the flowlet-start→rate-arrival latency samples in
+// seconds of simulated time, one per flowlet that received at least one rate
+// update, in rate-arrival order (only populated when TrackRateLatency is
+// set).
+func (e *Engine) RateLatencies() []float64 { return e.rateLatencies }
 
 // FailAllocator simulates an allocator failure: no new iterations run and no
 // updates are sent; endpoints keep their last allocated rates.
