@@ -6,14 +6,17 @@
 // The daemon free-runs one allocator iteration every -interval (clients may
 // also drive iterations explicitly with Step frames, which deterministic
 // test harnesses use). -blocks switches the engine from the sequential NED
-// allocator to the FlowBlock/LinkBlock multicore allocator. Loop latency
-// percentiles and update counters are logged every -stats-every.
+// allocator to the FlowBlock/LinkBlock multicore allocator; on a NUMA
+// machine, a `numa`-tagged build additionally accepts -pin to bind the
+// workers to sockets. Loop latency percentiles and update counters are
+// logged every -stats-every.
 //
 // A cluster of daemons shares the fabric with -shard i/N: each daemon owns
 // shard i of an N-way rack partition, accepts only flowlets sourced in its
 // racks, and exchanges boundary prices with the peer daemons listed in
 // -peers (dialed with bounded exponential backoff, so start order does not
-// matter). With -takeover the peers also replicate flow state to each other
+// matter). -shard composes with -blocks, so each shard can itself span
+// cores (`flowtuned -shard i/N -blocks M`). With -takeover the peers also replicate flow state to each other
 // and adopt a dead daemon's rack block. Per-session hardening is configured
 // with -max-session-flows, -max-frame-rate and -idle-timeout.
 //
@@ -66,7 +69,8 @@ func run(args []string, out io.Writer) error {
 	gamma := fs.Float64("gamma", 0, "NED step size (0 selects the engine default)")
 	threshold := fs.Float64("threshold", 0.01, "rate-update notification threshold")
 	interval := fs.Duration("interval", time.Millisecond, "allocation interval (0 = step-driven only)")
-	blocks := fs.Int("blocks", 0, "rack blocks for the multicore engine (0 = sequential)")
+	blocks := fs.Int("blocks", 0, "rack blocks for the multicore engine (0 = sequential); composes with -shard for multicore shards")
+	pin := fs.Bool("pin", false, "pin the multicore engine's workers to NUMA sockets (requires -blocks and a `numa`-tagged build; no-op otherwise)")
 	shard := fs.String("shard", "", "shard assignment i/N: own shard i of an N-way rack partition (empty = unsharded)")
 	peers := fs.String("peers", "", "comma-separated addresses of the peer shard daemons, dialed with retry")
 	takeover := fs.Bool("takeover", false, "replicate flow state to peers and adopt a dead peer's rack block (requires -shard)")
@@ -109,6 +113,7 @@ func run(args []string, out io.Writer) error {
 		UpdateThreshold:  *threshold,
 		Interval:         *interval,
 		Blocks:           *blocks,
+		PinWorkers:       *pin,
 		Epoch:            *epoch,
 		MaxSessionFlows:  *maxSessionFlows,
 		MaxFrameRate:     *maxFrameRate,

@@ -209,10 +209,11 @@ func TestDaemonFlagErrors(t *testing.T) {
 	if err := run([]string{"-shard", "0/2", "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
 		t.Error("2 shards over 9 racks accepted")
 	}
-	// Sharded mode requires the sequential engine for now.
-	if err := run([]string{"-shard", "0/3", "-blocks", "2", "-racks", "8",
-		"-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
-		t.Error("sharded parallel engine accepted")
+	// Sharding composes with the multicore engine: a shard of an 8-rack
+	// fabric can itself span 2 blocks.
+	if err := run([]string{"-shard", "0/2", "-blocks", "2", "-racks", "8",
+		"-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err != nil {
+		t.Errorf("sharded multicore daemon rejected: %v", err)
 	}
 }
 

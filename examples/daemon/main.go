@@ -10,6 +10,15 @@
 // then:
 //
 //	go run ./examples/daemon -addr 127.0.0.1:9070
+//
+// The engine behind the address is the daemon's business, not the client's:
+// the same demo works unchanged against a multicore daemon
+//
+//	go run ./cmd/flowtuned -racks 8 -blocks 2 -listen 127.0.0.1:9070
+//
+// or against one shard of a cluster of multicore daemons (-shard composes
+// with -blocks; see README "Scaling a shard across cores"), as long as the
+// flowlets' source servers belong to the shard dialed.
 package main
 
 import (

@@ -5,6 +5,15 @@
 // Run with:
 //
 //	go run ./examples/datacenter
+//
+// The Flowtune scheme here runs the in-process allocator. The same workload
+// can be pushed through the full control plane — a sharded cluster of
+// multicore daemons speaking the boundary-price exchange — with the scenario
+// runner: `go run ./cmd/flowtune-bench -scenario sharded-multicore` shards
+// an 8-rack fabric in halves and gives each daemon a 4-block parallel
+// engine (2 shards × 2 blocks in -short mode). Partition-local traffic is
+// allocated bit-identically to the single-daemon path, so the simulated
+// outcome differs only where flows cross shards.
 package main
 
 import (

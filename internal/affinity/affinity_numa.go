@@ -1,0 +1,82 @@
+//go:build numa && linux
+
+package affinity
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSet mirrors the kernel's cpu_set_t for sched_setaffinity: a bitmask
+// with one bit per CPU, sized here for machines up to 1024 CPUs.
+type cpuSet [16]uint64
+
+func (s *cpuSet) set(cpu int) {
+	if cpu >= 0 && cpu < len(s)*64 {
+		s[cpu/64] |= 1 << (cpu % 64)
+	}
+}
+
+// nodeCPUs returns each NUMA node's CPUs, discovered once from sysfs.
+// Memory-only nodes (no CPUs) are skipped — a worker cannot run there.
+var nodeCPUs = sync.OnceValue(func() [][]int {
+	var nodes [][]int
+	for n := 0; ; n++ {
+		raw, err := os.ReadFile(fmt.Sprintf("/sys/devices/system/node/node%d/cpulist", n))
+		if err != nil {
+			break
+		}
+		cpus, err := parseCPUList(string(raw))
+		if err != nil {
+			return nil
+		}
+		if len(cpus) > 0 {
+			nodes = append(nodes, cpus)
+		}
+	}
+	if len(nodes) < 2 {
+		// One node means pinning buys no locality; report disabled.
+		return nil
+	}
+	return nodes
+})
+
+// Enabled reports whether worker pinning can do anything on this machine:
+// the binary was built with the numa tag and sysfs exposes at least two
+// NUMA nodes with CPUs.
+func Enabled() bool { return len(nodeCPUs()) > 0 }
+
+// Sockets returns the number of NUMA nodes workers are distributed over
+// (0 when Enabled is false).
+func Sockets() int { return len(nodeCPUs()) }
+
+// PinWorker locks the calling goroutine to its OS thread and restricts that
+// thread to the CPUs of NUMA node worker % Sockets(), returning the node it
+// was pinned to. Memory the calling goroutine allocates and first touches
+// afterwards lands on that node. The thread stays locked for the life of the
+// goroutine — callers are long-lived workers, which is the point.
+func PinWorker(worker int) (int, error) {
+	nodes := nodeCPUs()
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("affinity: no NUMA nodes discovered")
+	}
+	runtime.LockOSThread()
+	node := worker % len(nodes)
+	var mask cpuSet
+	for _, cpu := range nodes[node] {
+		mask.set(cpu)
+	}
+	// Raw syscall on the calling thread (tid 0 = self); golang.org/x/sys is
+	// deliberately not a dependency.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return 0, fmt.Errorf("affinity: sched_setaffinity: %v", errno)
+	}
+	return node, nil
+}

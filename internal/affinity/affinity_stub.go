@@ -1,0 +1,20 @@
+//go:build !numa || !linux
+
+package affinity
+
+import "errors"
+
+// Enabled reports whether worker pinning can do anything on this machine.
+// This build lacks the numa tag (or is not linux), so it cannot.
+func Enabled() bool { return false }
+
+// Sockets returns the number of NUMA nodes workers are distributed over;
+// always 0 in this build.
+func Sockets() int { return 0 }
+
+// PinWorker would pin the calling goroutine's OS thread to a NUMA node; in
+// this build it always fails. Callers gate on Enabled and fall back to
+// unpinned workers.
+func PinWorker(worker int) (int, error) {
+	return 0, errors.New("affinity: built without the numa tag")
+}

@@ -1,0 +1,73 @@
+package affinity
+
+import "testing"
+
+// TestEnabledContract holds in every build mode: with pinning available,
+// PinWorker must succeed and round-robin over the discovered sockets; without
+// it (the stub, or a single-node machine under the numa tag), Sockets is 0
+// and PinWorker fails rather than silently doing nothing.
+func TestEnabledContract(t *testing.T) {
+	if !Enabled() {
+		if n := Sockets(); n != 0 {
+			t.Fatalf("Sockets() = %d with Enabled() == false, want 0", n)
+		}
+		if _, err := PinWorker(0); err == nil {
+			t.Fatalf("PinWorker succeeded with Enabled() == false")
+		}
+		return
+	}
+	n := Sockets()
+	if n < 2 {
+		t.Fatalf("Sockets() = %d with Enabled() == true, want >= 2", n)
+	}
+	for worker := 0; worker < 2*n; worker++ {
+		node, err := PinWorker(worker)
+		if err != nil {
+			t.Fatalf("PinWorker(%d): %v", worker, err)
+		}
+		if node != worker%n {
+			t.Fatalf("PinWorker(%d) pinned to node %d, want %d", worker, node, worker%n)
+		}
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{in: "0-3", want: []int{0, 1, 2, 3}},
+		{in: "0-1,8,10-11\n", want: []int{0, 1, 8, 10, 11}},
+		{in: "5", want: []int{5}},
+		{in: "", want: nil},
+		{in: "  \n", want: nil},
+		{in: "3-1", err: true},
+		{in: "a-b", err: true},
+		{in: "1,,2", err: true},
+		{in: "-2", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseCPUList(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseCPUList(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCPUList(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

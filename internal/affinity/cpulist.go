@@ -1,0 +1,40 @@
+package affinity
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseCPUList parses the kernel's cpulist format ("0-3,8,10-11") into the
+// expanded CPU numbers. It is the format of
+// /sys/devices/system/node/node*/cpulist; an empty (or all-whitespace) list
+// parses to no CPUs, which callers treat as a memory-only node.
+func parseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cpus []int
+	for _, field := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(field, "-")
+		first, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("affinity: bad cpulist entry %q: %v", field, err)
+		}
+		last := first
+		if ok {
+			last, err = strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("affinity: bad cpulist range %q: %v", field, err)
+			}
+		}
+		if first < 0 || last < first {
+			return nil, fmt.Errorf("affinity: bad cpulist range %q", field)
+		}
+		for cpu := first; cpu <= last; cpu++ {
+			cpus = append(cpus, cpu)
+		}
+	}
+	return cpus, nil
+}

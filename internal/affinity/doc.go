@@ -1,0 +1,20 @@
+// Package affinity pins allocator worker threads to NUMA sockets.
+//
+// The multicore allocator's merge phase is memory-bound: each pairwise
+// aggregation round streams a partner FlowBlock's accumulator arrays. When
+// the machine spans several memory nodes, placing a worker's accumulators on
+// the node its thread runs on keeps those streams local. This package
+// provides the two primitives that makes possible: discovering the machine's
+// NUMA nodes, and pinning the calling goroutine's OS thread to one of them
+// (round-robin by worker index) so that pages the worker then touches for
+// the first time are allocated node-locally by the kernel's first-touch
+// policy.
+//
+// The real implementation is gated behind the `numa` build tag and linux
+// (nodes are read from /sys/devices/system/node, pinning uses the raw
+// sched_setaffinity syscall — no external dependencies). Every other build
+// gets no-op stubs: Enabled reports false and PinWorker fails, so callers
+// such as core.ParallelAllocator degrade to unpinned workers. Single-node
+// machines also report Enabled() == false — pinning every worker to the only
+// socket would just fight the Go scheduler for no locality gain.
+package affinity

@@ -24,6 +24,13 @@ type Config struct {
 	UpdateThreshold float64
 	Interval        time.Duration
 	Epoch           uint64
+	// Blocks and PinWorkers select every daemon's engine (see
+	// server.Config): Blocks > 0 makes each shard a multicore daemon
+	// running the parallel allocator with that many rack blocks, and
+	// PinWorkers additionally pins its workers to NUMA sockets (numa-tag
+	// builds only). Zero keeps the sequential engine.
+	Blocks     int
+	PinWorkers bool
 	// MaxSessionFlows, MaxFrameRate and IdleTimeout pass the per-session
 	// hardening limits through to every daemon.
 	MaxSessionFlows int
@@ -77,6 +84,8 @@ func New(cfg Config) (*Cluster, error) {
 			UpdateThreshold:  cfg.UpdateThreshold,
 			Interval:         cfg.Interval,
 			Epoch:            cfg.Epoch,
+			Blocks:           cfg.Blocks,
+			PinWorkers:       cfg.PinWorkers,
 			MaxSessionFlows:  cfg.MaxSessionFlows,
 			MaxFrameRate:     cfg.MaxFrameRate,
 			IdleTimeout:      cfg.IdleTimeout,

@@ -358,14 +358,180 @@ func TestShardedClientRoutingAndReconnect(t *testing.T) {
 	}
 }
 
+// TestMulticorePartitionLocalByteIdentical is the multicore-shard acceptance
+// check: a 2-shard cluster whose daemons run the parallel engine (Blocks: 2)
+// must still produce exactly the single sequential daemon's rates on
+// partition-local traffic — the boundary fold-in and digest export of the
+// ParallelAllocator keep the wire bytes bit-identical to the sequential
+// engine's. Gamma is set to the sequential default explicitly because the
+// parallel allocator's own default differs (1 vs 0.4).
+func TestMulticorePartitionLocalByteIdentical(t *testing.T) {
+	topo := testTopo(t)
+	single, singleCli := startSingle(t, topo)
+
+	cl, err := New(Config{Topology: topo, Shards: 2, Blocks: 2, Gamma: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	clusterCli, err := cl.Client(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clusterCli.Close() })
+
+	events := partitionLocalChurn(cl.Map(), 42, 400)
+	apply := func(b backend, ev churnEvent) error {
+		if ev.end {
+			return b.FlowletEnd(ev.id)
+		}
+		return b.FlowletStart(ev.id, ev.src, ev.dst, ev.weight)
+	}
+	const perStep = 8
+	for start := 0; start < len(events); start += perStep {
+		end := min(start+perStep, len(events))
+		for _, ev := range events[start:end] {
+			if err := apply(singleCli, ev); err != nil {
+				t.Fatal(err)
+			}
+			if err := apply(clusterCli, ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantUps, err := singleCli.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[core.FlowID]float64, len(wantUps))
+		for _, u := range wantUps {
+			want[u.Flow] = u.Rate
+		}
+		gotUps, err := clusterCli.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[core.FlowID]float64, len(gotUps))
+		for _, u := range gotUps {
+			got[u.Flow] = u.Rate
+		}
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d multicore-cluster updates, single daemon sent %d", start/perStep, len(got), len(want))
+		}
+		for id, rate := range want {
+			if gr, ok := got[id]; !ok || gr != rate {
+				t.Fatalf("step %d flow %d: multicore cluster rate %v (present %v), single %v", start/perStep, id, gr, ok, rate)
+			}
+		}
+	}
+	want := single.Rates()
+	got := cl.Rates()
+	if len(got) != len(want) {
+		t.Fatalf("final flow counts differ: cluster %d, single %d", len(got), len(want))
+	}
+	for id, rate := range want {
+		if got[int64(id)] != rate {
+			t.Fatalf("final flow %d: multicore cluster %v, single %v", id, got[int64(id)], rate)
+		}
+	}
+	for i := 0; i < cl.NumShards(); i++ {
+		if cl.Server(i).Stats().PeerExchanges == 0 {
+			t.Fatalf("shard %d never folded a peer bundle", i)
+		}
+	}
+}
+
+// TestMulticoreCrossShardConvergence bounds the multicore cluster's distance
+// from the global sequential allocator on cross-shard traffic, exactly as
+// TestCrossShardConvergence does for sequential shards: the combination of
+// exchange lag and the parallel engine's merge-tree summation order must not
+// move the objective more than 1% or any flow more than 25%.
+func TestMulticoreCrossShardConvergence(t *testing.T) {
+	topo := testTopo(t)
+	single, singleCli := startSingle(t, topo)
+	cl, err := New(Config{Topology: topo, Shards: 2, Blocks: 2, Gamma: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	clusterCli, err := cl.Client(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clusterCli.Close() })
+
+	rng := rand.New(rand.NewSource(7))
+	n := topo.NumServers()
+	flows := 0
+	for id := core.FlowID(1); flows < 48; id++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if dst == src {
+			continue
+		}
+		if err := singleCli.FlowletStart(id, src, dst, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := clusterCli.FlowletStart(id, src, dst, 1); err != nil {
+			t.Fatal(err)
+		}
+		flows++
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := singleCli.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clusterCli.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := single.Rates()
+	got := cl.Rates()
+	if len(got) != len(want) {
+		t.Fatalf("flow counts differ: cluster %d, single %d", len(got), len(want))
+	}
+	var objWant, objGot, worst float64
+	for id, rw := range want {
+		rg := got[int64(id)]
+		if rg <= 0 || rw <= 0 {
+			t.Fatalf("flow %d: non-positive rates %g/%g", id, rg, rw)
+		}
+		objWant += math.Log(rw)
+		objGot += math.Log(rg)
+		if dev := math.Abs(rg-rw) / rw; dev > worst {
+			worst = dev
+		}
+	}
+	if gap := math.Abs(objGot-objWant) / math.Abs(objWant); gap > 0.01 {
+		t.Fatalf("objective gap %.4f (multicore cluster %g vs global %g)", gap, objGot, objWant)
+	}
+	if worst > 0.25 {
+		t.Fatalf("worst per-flow rate deviation %.3f", worst)
+	}
+	t.Logf("objective gap %.5f, worst per-flow deviation %.4f",
+		math.Abs(objGot-objWant)/math.Abs(objWant), worst)
+}
+
 // TestKillTakeoverFailover is the survivable-control-plane check at cluster
 // level: kill one daemon mid-run, the survivor adopts its rack block from the
 // replicated flow state, and the frozen client fails over onto it — with the
 // whole sequence deterministic run to run.
 func TestKillTakeoverFailover(t *testing.T) {
+	testKillTakeoverFailover(t, 0)
+}
+
+// TestKillTakeoverFailoverMulticore runs the same kill/takeover/failover
+// sequence with every daemon on the parallel engine (Blocks: 2): the adopted
+// flows are replayed into a multicore allocator's FlowBlocks and the adopted
+// boundary links come under its LinkBlocks' control, and the whole sequence
+// must stay deterministic run to run.
+func TestKillTakeoverFailoverMulticore(t *testing.T) {
+	testKillTakeoverFailover(t, 2)
+}
+
+func testKillTakeoverFailover(t *testing.T, blocks int) {
 	topo := testTopo(t)
 	runOnce := func() map[int64]float64 {
-		cl, err := New(Config{Topology: topo, Shards: 2, Takeover: true})
+		cl, err := New(Config{Topology: topo, Shards: 2, Blocks: blocks, Takeover: true})
 		if err != nil {
 			t.Fatal(err)
 		}

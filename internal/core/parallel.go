@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/affinity"
 	"repro/internal/num"
 	"repro/internal/topology"
 )
@@ -155,6 +156,27 @@ func (fb *flowBlock) reset() {
 	fb.downDead = 0
 }
 
+// reallocAccumulators replaces the block's price/load/Hessian arrays with
+// fresh allocations holding the same contents. A pinned worker calls it from
+// its own OS thread before the first barrier, so first-touch places the
+// merge-phase working set on the worker's local memory node; the barrier's
+// release then publishes the new slice headers to the merge partners.
+func (fb *flowBlock) reallocAccumulators() {
+	fb.upPrice = repadded(fb.upPrice)
+	fb.downPrice = repadded(fb.downPrice)
+	fb.upLoad = repadded(fb.upLoad)
+	fb.downLoad = repadded(fb.downLoad)
+	fb.upHdiag = repadded(fb.upHdiag)
+	fb.downHdiag = repadded(fb.downHdiag)
+}
+
+// repadded copies src into a fresh cache-line-padded allocation.
+func repadded(src []float64) []float64 {
+	dst := paddedFloats(len(src))
+	copy(dst, src)
+	return dst
+}
+
 // linkBlockState is the authoritative state of one LinkBlock (prices persist
 // across iterations; capacities are fixed).
 type linkBlockState struct {
@@ -165,6 +187,17 @@ type linkBlockState struct {
 	// is not in the block); a dense array indexed by LinkID replaces the
 	// map lookup on the flow-add path.
 	posOf []int32
+	// ext and extH, when non-nil, carry remote shards' load and
+	// Hessian-diagonal contributions per block position (see
+	// ParallelAllocator.SetExternalLoads). The price-update phase folds
+	// them into the merged accumulators exactly as the sequential NED
+	// solver folds num.Problem.ExternalLoads, and the normalize phase
+	// counts ext toward link utilization.
+	ext, extH []float64
+	// pinned, when non-nil, holds imported remote-owner prices per block
+	// position (-1 = locally priced); re-imposed after every price update,
+	// mirroring num.Problem.PinnedPrices.
+	pinned []float64
 }
 
 func newLinkBlockState(t *topology.Topology, links []topology.LinkID, headroom float64) *linkBlockState {
@@ -200,6 +233,13 @@ type ParallelConfig struct {
 	Headroom float64
 	// Normalize enables the parallel F-NORM pass after the price update.
 	Normalize bool
+	// PinWorkers pins each FlowBlock worker's OS thread to a NUMA socket
+	// (round-robin by worker index) and re-allocates the block's
+	// accumulator arrays from the pinned thread, so first-touch places the
+	// merge-phase working set on the worker's local memory node. It is a
+	// no-op unless the binary is built with the `numa` tag on linux (see
+	// internal/affinity).
+	PinWorkers bool
 }
 
 // flowLoc locates a registered flow: the FlowBlock that holds it and its
@@ -239,6 +279,16 @@ type ParallelAllocator struct {
 
 	up   []*linkBlockState // authoritative upward LinkBlocks, indexed by block
 	down []*linkBlockState // authoritative downward LinkBlocks, indexed by block
+
+	// Dense LinkID→owning-LinkBlock lookup for the boundary API (every
+	// fabric link lives in exactly one LinkBlock; allocator uplinks in
+	// none, so their ownerLB entry is nil). ownerPos is the link's position
+	// within the block, ownerBlk the block index, ownerIsUp whether it is
+	// the block's upward half.
+	ownerLB   []*linkBlockState
+	ownerPos  []int32
+	ownerBlk  []int32
+	ownerIsUp []bool
 
 	// fbs holds the FlowBlocks in Morton (bit-interleaved) order of their
 	// (srcBlock, dstBlock) coordinates, so the partners of the early
@@ -297,6 +347,18 @@ func NewParallelAllocator(cfg ParallelConfig) (*ParallelAllocator, error) {
 	for b := 0; b < cfg.Blocks; b++ {
 		p.up = append(p.up, newLinkBlockState(cfg.Topology, part.UpwardLinkBlock(b), cfg.Headroom))
 		p.down = append(p.down, newLinkBlockState(cfg.Topology, part.DownwardLinkBlock(b), cfg.Headroom))
+	}
+	p.ownerLB = make([]*linkBlockState, cfg.Topology.NumLinks())
+	p.ownerPos = make([]int32, cfg.Topology.NumLinks())
+	p.ownerBlk = make([]int32, cfg.Topology.NumLinks())
+	p.ownerIsUp = make([]bool, cfg.Topology.NumLinks())
+	for b := 0; b < cfg.Blocks; b++ {
+		for i, l := range p.up[b].links {
+			p.ownerLB[l], p.ownerPos[l], p.ownerBlk[l], p.ownerIsUp[l] = p.up[b], int32(i), int32(b), true
+		}
+		for i, l := range p.down[b].links {
+			p.ownerLB[l], p.ownerPos[l], p.ownerBlk[l], p.ownerIsUp[l] = p.down[b], int32(i), int32(b), false
+		}
 	}
 	n := cfg.Blocks
 	p.fbs = make([]*flowBlock, n*n)
@@ -554,6 +616,17 @@ func (p *ParallelAllocator) Iterate() {
 func (p *ParallelAllocator) worker(idx int) {
 	defer p.wg.Done()
 	fb := p.fbs[idx]
+	if p.cfg.PinWorkers && affinity.Enabled() {
+		// Pin before the first barrier: re-allocating the accumulators from
+		// the pinned thread makes first-touch place them on the worker's
+		// memory node, and the barrier's release publishes the new slice
+		// headers to the merge partners that read them. The CSR churn
+		// arenas stay coordinator-allocated (churn happens between
+		// iterations, off the worker threads), a documented approximation.
+		if _, err := affinity.PinWorker(idx); err == nil {
+			fb.reallocAccumulators()
+		}
+	}
 	n := p.numBlocks
 	for {
 		p.barrier.wait() // wait for Iterate (or Close)
@@ -658,41 +731,69 @@ func (p *ParallelAllocator) rateUpdatePhase(fb *flowBlock) {
 const minParallelPrice = 1e-12
 
 // priceUpdatePhase applies NED's price update to one authoritative LinkBlock.
+// External loads (remote shards' demand) are folded into the merged
+// accumulators here — g is computed as (load − cap) + ext, exactly the
+// sequential solver's operation order, so a boundary-exchanging shard stays
+// bit-identical to the sequential engine — and pinned prices are re-imposed
+// after the update, mirroring num's applyPins.
 func (p *ParallelAllocator) priceUpdatePhase(lb *linkBlockState, load, hdiag []float64) {
+	ext, extH, pinned := lb.ext, lb.extH, lb.pinned
 	for i := range lb.price {
 		g := load[i] - lb.cap[i]
 		h := hdiag[i]
+		if ext != nil {
+			g += ext[i]
+		}
+		if extH != nil {
+			h += extH[i]
+		}
 		if h == 0 {
 			// Mirror the sequential solver: idle links decay toward zero.
 			lb.price[i] *= 0.5
-			continue
+		} else {
+			price := lb.price[i] - p.gamma*g/h
+			if price < 0 {
+				price = 0
+			}
+			lb.price[i] = price
 		}
-		price := lb.price[i] - p.gamma*g/h
-		if price < 0 {
-			price = 0
+		if pinned != nil && pinned[i] >= 0 {
+			lb.price[i] = pinned[i]
 		}
-		lb.price[i] = price
 	}
 }
 
 // normalizePhase applies F-NORM within a FlowBlock: each flow is scaled by
 // the worst load/capacity ratio among the links it traverses. The aggregated
 // loads live in the owner FlowBlocks (column 0 for upward, row 0 for
-// downward), which this phase only reads.
+// downward), which this phase only reads. External loads count toward a
+// link's utilization — as (load + ext) / cap, the sequential normalizer's
+// operation order — so a boundary link crowded by remote traffic slows local
+// flows just as local congestion would.
 func (p *ParallelAllocator) normalizePhase(fb *flowBlock) {
 	upOwner := p.fbAt[fb.srcBlock*p.numBlocks] // (srcBlock, 0)
 	downOwner := p.fbAt[fb.dstBlock]           // (0, dstBlock)
 	upCap := p.up[fb.srcBlock].cap
 	downCap := p.down[fb.dstBlock].cap
+	upExt := p.up[fb.srcBlock].ext
+	downExt := p.down[fb.dstBlock].ext
 	for i := 0; i < fb.numFlows(); i++ {
 		worst := 1.0
 		for _, pos := range fb.upIdx[fb.upOff[i] : fb.upOff[i]+fb.upLen[i]] {
-			if r := upOwner.upLoad[pos] / upCap[pos]; r > worst {
+			load := upOwner.upLoad[pos]
+			if upExt != nil {
+				load += upExt[pos]
+			}
+			if r := load / upCap[pos]; r > worst {
 				worst = r
 			}
 		}
 		for _, pos := range fb.downIdx[fb.downOff[i] : fb.downOff[i]+fb.downLen[i]] {
-			if r := downOwner.downLoad[pos] / downCap[pos]; r > worst {
+			load := downOwner.downLoad[pos]
+			if downExt != nil {
+				load += downExt[pos]
+			}
+			if r := load / downCap[pos]; r > worst {
 				worst = r
 			}
 		}

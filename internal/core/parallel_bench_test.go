@@ -206,6 +206,40 @@ func BenchmarkParallelChurn(b *testing.B) {
 		}
 	})
 
+	b.Run("boundary", func(b *testing.B) {
+		// The multicore shard's per-exchange cost on top of plain iteration:
+		// export the digest for the fabric links, fold a peer's external
+		// loads and pinned prices back in, then iterate. This is exactly the
+		// extra work a sharded daemon adds per exchange interval when its
+		// engine is the ParallelAllocator.
+		pa, _ := setup(b)
+		defer pa.Close()
+		var fabric []topology.LinkID
+		for l := 0; l < topo.NumLinks(); l++ {
+			link := topo.Link(topology.LinkID(l))
+			if topo.Node(link.Src).Kind != topology.Server &&
+				topo.Node(link.Dst).Kind != topology.Server {
+				fabric = append(fabric, topology.LinkID(l))
+			}
+		}
+		loads := make([]float64, len(fabric))
+		hdiag := make([]float64, len(fabric))
+		prices := make([]float64, len(fabric))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := pa.BoundaryDigest(fabric, loads, hdiag); err != nil {
+				b.Fatal(err)
+			}
+			pa.LinkPrices(fabric, prices)
+			// Feed the digest back as if it were a peer's: realistic sizes,
+			// zero net effect on convergence, no per-iteration drift.
+			pa.SetExternalLoads(fabric, loads, hdiag)
+			pa.PinPrices(fabric[:len(fabric)/2], prices[:len(fabric)/2])
+			pa.Iterate()
+		}
+	})
+
 	b.Run("rebuild", func(b *testing.B) {
 		pa, flows := setup(b)
 		defer pa.Close()

@@ -85,6 +85,13 @@ type ScenarioConfig struct {
 	// fabric's rack count. Runs stay deterministic: shards are stepped in
 	// order and every exchange push is delivery-acknowledged.
 	Shards int
+	// Blocks, when > 0, runs every daemon on the FlowBlock/LinkBlock
+	// multicore engine with that many rack blocks (a power of two dividing
+	// the fabric's rack count) instead of the sequential allocator.
+	// Requires Daemon; composes with Shards, so a scenario can model a
+	// cluster of multicore shards. Determinism is unaffected — the
+	// parallel allocator's merge tree is a fixed reduction order.
+	Blocks int
 	// ChaosKillStep, when > 0, kills one daemon of the sharded cluster at
 	// that allocator step (1-based), exercising the survivable control
 	// plane mid-run: the cluster runs with peer takeover enabled, the
@@ -288,6 +295,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.Shards > 1 && !cfg.Daemon {
 		return nil, fmt.Errorf("experiments: scenario %s: Shards requires Daemon mode", cfg.Name)
 	}
+	if cfg.Blocks > 0 && !cfg.Daemon {
+		return nil, fmt.Errorf("experiments: scenario %s: Blocks requires Daemon mode", cfg.Name)
+	}
 	if cfg.ChaosKillStep > 0 && cfg.Shards <= 1 {
 		return nil, fmt.Errorf("experiments: scenario %s: ChaosKillStep requires Shards > 1", cfg.Name)
 	}
@@ -333,7 +343,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			// daemons: the trace's flowlets are hashed to their owning
 			// shards, rate updates are merged back, and boundary prices
 			// are exchanged between the daemons at every tick.
-			clCfg := cluster.Config{Topology: topo, Shards: cfg.Shards}
+			clCfg := cluster.Config{Topology: topo, Shards: cfg.Shards, Blocks: cfg.Blocks}
 			if plan != nil && plan.HasKills() {
 				// A kill run needs peers that detect the death and adopt
 				// the orphaned rack block.
@@ -355,7 +365,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			// over an in-memory pipe: flowlet notifications and rate updates
 			// cross the wire protocol, and each simulated allocator tick
 			// becomes one synchronous daemon Step.
-			srv, err = server.New(server.Config{Topology: topo})
+			srv, err = server.New(server.Config{Topology: topo, Blocks: cfg.Blocks})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Name, err)
 			}
@@ -741,6 +751,29 @@ var namedScenarios = map[string]scenarioSpec{
 			cfg.Shards = 3
 			if short {
 				cfg.Shards = 2
+			}
+			return cfg
+		},
+	},
+	"sharded-multicore": {
+		about: "the incast scenario on a sharded cluster of multicore daemons (parallel engine + boundary exchange)",
+		build: func(short bool) ScenarioConfig {
+			cfg := incastScenario(short)
+			cfg.Name = "sharded-multicore"
+			cfg.Daemon = true
+			cfg.Shards = 2
+			if short {
+				// Halves of the 4-rack short fabric, each daemon split
+				// into 2 FlowBlock columns.
+				cfg.Blocks = 2
+			} else {
+				// The parallel engine needs a power-of-two block count
+				// dividing the racks, which the paper's 9-rack fabric is
+				// not; run the full-size variant on 8 racks.
+				base := topology.DefaultSimConfig()
+				base.Racks = 8
+				cfg.LeafSpine = &base
+				cfg.Blocks = 4
 			}
 			return cfg
 		},

@@ -34,8 +34,11 @@ import (
 // runs deterministic; free-running daemons fold whatever has arrived.
 
 // exchanger is implemented by engines that support the boundary-price
-// exchange (the sequential core engine; the parallel engine keeps its prices
-// in per-block state and does not yet participate).
+// exchange. Both engines do: the sequential core engine delegates to the
+// allocator's boundary API over its global price/load arrays, and the
+// parallel engine to the block-local equivalents (external loads and pins
+// folded into the owning LinkBlock, digests exported from the owner
+// FlowBlocks' merged accumulators in the same canonical link order).
 type exchanger interface {
 	SetExternalLoads(links []topology.LinkID, loads, hdiag []float64)
 	PinPrices(links []topology.LinkID, prices []float64)
@@ -170,9 +173,11 @@ type shardState struct {
 // newShardState validates the sharded configuration and prepares the
 // exchange state.
 func newShardState(cfg Config, eng engine) (*shardState, error) {
+	// Both engines implement exchanger; the assertion stays as a defensive
+	// gate for any future engine that does not.
 	ex, ok := eng.(exchanger)
 	if !ok {
-		return nil, fmt.Errorf("server: sharded mode requires the sequential engine (Blocks = 0)")
+		return nil, fmt.Errorf("server: sharded mode requires an engine with boundary-exchange support")
 	}
 	if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.NumShards {
 		return nil, fmt.Errorf("server: ShardIndex %d out of range for %d shards", cfg.ShardIndex, cfg.NumShards)

@@ -225,12 +225,15 @@ func TestConnectPeerTimesOutOnSilentPeer(t *testing.T) {
 	}
 }
 
-// TestShardedRequiresSequentialEngine pins the engine restriction.
-func TestShardedRequiresSequentialEngine(t *testing.T) {
+// TestShardedConfigValidation pins the sharded-config checks — and that the
+// multicore engine is accepted (the old sequential-only restriction is gone).
+func TestShardedConfigValidation(t *testing.T) {
 	topo := clusterTopo(t)
-	if _, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 0, Blocks: 2}); err == nil {
-		t.Fatal("sharded parallel engine accepted")
+	srv, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 0, Blocks: 2})
+	if err != nil {
+		t.Fatalf("sharded multicore daemon rejected: %v", err)
 	}
+	srv.Close()
 	if _, err := New(Config{Topology: topo, NumShards: 2, ShardIndex: 5}); err == nil {
 		t.Fatal("out-of-range shard index accepted")
 	}

@@ -25,8 +25,9 @@ type engine interface {
 
 // snapshotter is implemented by engines whose live flow set can be exported
 // in canonical order — the basis of flow-state snapshots, peer replicas, and
-// warm restart. Both engines support it; price export additionally requires
-// the exchanger interface (sequential engine only).
+// warm restart. Both engines support it, and both also implement the
+// exchanger interface (see cluster.go) for price export and the sharded
+// boundary exchange.
 type snapshotter interface {
 	LiveFlows() []core.ParallelFlow
 }
@@ -102,11 +103,12 @@ type parallelEngine struct {
 
 func newParallelEngine(cfg Config) (*parallelEngine, error) {
 	pa, err := core.NewParallelAllocator(core.ParallelConfig{
-		Topology:  cfg.Topology,
-		Blocks:    cfg.Blocks,
-		Gamma:     cfg.Gamma,
-		Headroom:  cfg.UpdateThreshold,
-		Normalize: true,
+		Topology:   cfg.Topology,
+		Blocks:     cfg.Blocks,
+		Gamma:      cfg.Gamma,
+		Headroom:   cfg.UpdateThreshold,
+		Normalize:  true,
+		PinWorkers: cfg.PinWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -143,3 +145,30 @@ func (e *parallelEngine) SetLinkCapacity(l topology.LinkID, capacity float64) er
 }
 
 func (e *parallelEngine) LiveFlows() []core.ParallelFlow { return e.pa.LiveFlows() }
+
+// The multicore engine supports the sharded boundary exchange by delegating
+// to the parallel allocator's boundary API (see
+// internal/core/parallel_boundary.go): external loads and pinned prices are
+// folded into the owning LinkBlock at the merge/price-update phases, and
+// digests are exported from the owner FlowBlocks' merged accumulators in the
+// same canonical link order the sequential engine uses — so a multicore shard
+// speaks bit-identical wire bytes on partition-local traffic.
+
+func (e *parallelEngine) SetExternalLoads(links []topology.LinkID, loads, hdiag []float64) {
+	e.pa.SetExternalLoads(links, loads, hdiag)
+}
+func (e *parallelEngine) PinPrices(links []topology.LinkID, prices []float64) {
+	e.pa.PinPrices(links, prices)
+}
+func (e *parallelEngine) BoundaryDigest(links []topology.LinkID, loads, hdiag []float64) error {
+	return e.pa.BoundaryDigest(links, loads, hdiag)
+}
+func (e *parallelEngine) LinkPrices(links []topology.LinkID, prices []float64) {
+	e.pa.LinkPrices(links, prices)
+}
+func (e *parallelEngine) SeedPrices(links []topology.LinkID, prices []float64) {
+	e.pa.SeedPrices(links, prices)
+}
+func (e *parallelEngine) UnpinPrices(links []topology.LinkID) {
+	e.pa.UnpinPrices(links)
+}

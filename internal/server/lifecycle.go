@@ -44,11 +44,10 @@ func (s *Server) Draining() bool {
 }
 
 // Snapshot serializes the daemon's allocator state: its live flowlet
-// registry (FlowState chunks, canonical engine order) and, when the engine
-// exports prices (the sequential engine), every link's current price
-// (PriceSnapshot chunks). The result feeds Restore on a replacement daemon.
-// With the parallel engine the snapshot carries flows only — the restart is
-// warm for registrations but prices re-converge.
+// registry (FlowState chunks, canonical engine order) and every link's
+// current price (PriceSnapshot chunks) — both engines export prices through
+// the exchanger interface. The result feeds Restore on a replacement daemon
+// for a warm restart that continues the dual ascent in place.
 func (s *Server) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -34,8 +34,15 @@ type Config struct {
 	// Blocks selects the multicore engine: when positive, the daemon runs
 	// the FlowBlock/LinkBlock parallel allocator with Blocks rack blocks
 	// (must be a power of two dividing the rack count). Zero selects the
-	// sequential allocator.
+	// sequential allocator. Either engine composes with NumShards: a
+	// sharded daemon with Blocks > 0 spans cores within its shard while
+	// exchanging boundary prices with its peers.
 	Blocks int
+	// PinWorkers pins the parallel engine's workers to NUMA sockets and
+	// first-touches their merge accumulators node-locally. Only meaningful
+	// with Blocks > 0 and a binary built with the `numa` tag on linux
+	// (a no-op otherwise; see internal/affinity).
+	PinWorkers bool
 	// Epoch identifies this allocator generation in the Hello/Welcome
 	// handshake (default 1). Restarting operators should bump it so
 	// endpoints re-register their flowlets.
@@ -64,8 +71,8 @@ type Config struct {
 	// ShardIndex of a NumShards-way rack partition of Topology (see
 	// topology.ShardMap), accepts only flowlets whose source servers it
 	// owns, and exchanges boundary prices with its peers (Server.ConnectPeer)
-	// at every iteration boundary. 0 runs the daemon unsharded. Sharded
-	// mode currently requires the sequential engine (Blocks = 0).
+	// at every iteration boundary. 0 runs the daemon unsharded. Sharding
+	// works with both engines — set Blocks > 0 to run a multicore shard.
 	NumShards int
 	// ShardIndex is this daemon's shard in [0, NumShards).
 	ShardIndex int
