@@ -53,6 +53,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run shortened versions of every experiment")
 	scenario := flag.String("scenario", "",
 		"run workload scenarios instead of paper experiments: a comma-separated list of names, or \"all\"")
+	scaling := flag.Bool("scaling", false,
+		"run the wire-scaling sweep (flows on a k=16 fat-tree, shards x blocks on a two-tier fabric) and write BENCH_scaling.json into -out")
 	short := flag.Bool("short", false, "shrink scenario fabrics and run windows (CI smoke mode)")
 	outDir := flag.String("out", ".", "directory for scenario BENCH_<name>.json files")
 	list := flag.Bool("list", false, "list the named scenarios and exit")
@@ -82,6 +84,12 @@ func main() {
 	if *diff != "" {
 		if err := diffDirs(*diff, *baseline); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+	if *scaling {
+		if err := runScaling(*short, *seed, *outDir); err != nil {
+			log.Fatalf("scaling: %v", err)
 		}
 		return
 	}
@@ -119,6 +127,9 @@ func validateDir(dir string) error {
 		if err := validateScenarioFile(path, name); err != nil {
 			problems = append(problems, err.Error())
 		}
+	}
+	if _, err := loadScalingFile(filepath.Join(dir, scalingFile)); err != nil {
+		problems = append(problems, err.Error())
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("invalid benchmark results:\n  %s", strings.Join(problems, "\n  "))
@@ -221,6 +232,9 @@ func diffDirs(freshDir, baseDir string) error {
 					name, delta*100, baseP99, freshP99, normFCTP99Tolerance*100))
 		}
 	}
+	if err := diffScaling(freshDir, baseDir); err != nil {
+		problems = append(problems, err.Error())
+	}
 	if len(problems) > 0 {
 		return fmt.Errorf("benchmark trajectory regressions:\n  %s", strings.Join(problems, "\n  "))
 	}
@@ -268,6 +282,112 @@ func runScenario(name string, short bool, seed int64, outDir, engine string) err
 		return err
 	}
 	fmt.Printf("  wrote %s\n\n", path)
+	return nil
+}
+
+// scalingFile is the wire-scaling artifact's file name.
+const scalingFile = "BENCH_scaling.json"
+
+// wireReductionFloor is the wire v4 acceptance gate: the sharded-incast
+// scenario's fixed-v3 / actual byte ratio must stay at or above this for
+// both the fan-out and the exchange.
+const wireReductionFloor = 2.0
+
+// runScaling executes the wire-scaling sweep and writes BENCH_scaling.json.
+func runScaling(short bool, seed int64, outDir string) error {
+	res, err := experiments.RunScaling(experiments.ScalingConfig{
+		Short: short,
+		Seed:  seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(outDir, scalingFile)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// loadScalingFile reads and schema-checks one BENCH_scaling.json.
+func loadScalingFile(path string) (*experiments.ScalingResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var res experiments.ScalingResult
+	if err := dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%s: trailing data after the result object", path)
+	}
+	switch {
+	case res.Schema != experiments.ScalingResultSchema:
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, res.Schema, experiments.ScalingResultSchema)
+	case len(res.Points) == 0:
+		return nil, fmt.Errorf("%s: no sweep points", path)
+	case res.ShardedIncast.FanoutReduction < wireReductionFloor:
+		return nil, fmt.Errorf("%s: sharded-incast fan-out reduction %.2fx below the %gx floor",
+			path, res.ShardedIncast.FanoutReduction, wireReductionFloor)
+	case res.ShardedIncast.ExchangeReduction < wireReductionFloor:
+		return nil, fmt.Errorf("%s: sharded-incast exchange reduction %.2fx below the %gx floor",
+			path, res.ShardedIncast.ExchangeReduction, wireReductionFloor)
+	}
+	return &res, nil
+}
+
+// scalingWireBytes serializes a scaling result with every timing block
+// zeroed: the deterministic remainder is what the diff gate compares.
+func scalingWireBytes(res *experiments.ScalingResult) ([]byte, error) {
+	clone := *res
+	clone.Points = append([]experiments.ScalingPoint(nil), res.Points...)
+	for i := range clone.Points {
+		clone.Points[i].Timing = experiments.ScalingTiming{}
+	}
+	return json.Marshal(&clone)
+}
+
+// diffScaling compares the fresh scaling artifact against the committed
+// baseline: both must pass the reduction floor, and the deterministic wire
+// blocks must match exactly (timings are machine-dependent and ignored).
+func diffScaling(freshDir, baseDir string) error {
+	fresh, err := loadScalingFile(filepath.Join(freshDir, scalingFile))
+	if err != nil {
+		return err
+	}
+	base, err := loadScalingFile(filepath.Join(baseDir, scalingFile))
+	if err != nil {
+		return err
+	}
+	freshWire, err := scalingWireBytes(fresh)
+	if err != nil {
+		return err
+	}
+	baseWire, err := scalingWireBytes(base)
+	if err != nil {
+		return err
+	}
+	status := "identical"
+	if !bytes.Equal(freshWire, baseWire) {
+		status = "changed"
+	}
+	fmt.Printf("%-20s fan-out %.2fx, exchange %.2fx reduction on sharded-incast  (wire blocks %s)\n",
+		"scaling", fresh.ShardedIncast.FanoutReduction, fresh.ShardedIncast.ExchangeReduction, status)
+	if status == "changed" {
+		return fmt.Errorf("%s: deterministic wire blocks differ from the baseline (regenerate with -scaling -short if the change is intended)", scalingFile)
+	}
 	return nil
 }
 

@@ -34,13 +34,68 @@ func writeResult(t *testing.T, dir, name string, mutate func(*experiments.Scenar
 	}
 }
 
+// writeScaling serializes a minimal valid ScalingResult into dir.
+func writeScaling(t *testing.T, dir string, mutate func(*experiments.ScalingResult)) {
+	t.Helper()
+	res := experiments.ScalingResult{
+		Schema: experiments.ScalingResultSchema,
+		Short:  true,
+		Seed:   1,
+		Points: []experiments.ScalingPoint{{
+			Label: "flows-2k", Topology: "fat-tree k=16", Flows: 2000, Shards: 1, Blocks: 1,
+			Wire: experiments.ScalingWire{
+				ConvergeFanoutBytesPerIter: 100, ConvergeFanoutFixedPerIter: 300,
+				SteadyFanoutBytesPerIter: 50, SteadyFanoutFixedPerIter: 150,
+				FanoutCompression: 3.0,
+			},
+			Timing: experiments.ScalingTiming{RegisterSec: 0.01, StepSecMean: 0.001, StepSecMax: 0.002, RateUpdateLatencyNs: 40},
+		}},
+		ShardedIncast: experiments.ScalingScenarioWire{
+			FanoutBytes: 100, FanoutBytesFixed: 250, FanoutReduction: 2.5,
+			ExchangeBytes: 100, ExchangeBytesFixed: 300, ExchangeReduction: 3.0,
+		},
+	}
+	if mutate != nil {
+		mutate(&res)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, scalingFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeDir populates dir with one well-formed result per scenario plus the
+// scaling artifact — the full set validateDir and diffDirs expect.
+func writeDir(t *testing.T, dir string, mutate func(*experiments.ScenarioResult)) {
+	t.Helper()
+	for _, name := range experiments.ScenarioNames() {
+		writeResult(t, dir, name, mutate)
+	}
+	writeScaling(t, dir, nil)
+}
+
 func TestValidateDirAcceptsWellFormedResults(t *testing.T) {
 	dir := t.TempDir()
-	for _, name := range experiments.ScenarioNames() {
-		writeResult(t, dir, name, nil)
-	}
+	writeDir(t, dir, nil)
 	if err := validateDir(dir); err != nil {
 		t.Fatalf("validateDir rejected well-formed results: %v", err)
+	}
+}
+
+func TestValidateDirRejectsSubFloorReduction(t *testing.T) {
+	for _, mutate := range []func(*experiments.ScalingResult){
+		func(r *experiments.ScalingResult) { r.ShardedIncast.FanoutReduction = 1.4 },
+		func(r *experiments.ScalingResult) { r.ShardedIncast.ExchangeReduction = 1.9 },
+	} {
+		dir := t.TempDir()
+		writeDir(t, dir, nil)
+		writeScaling(t, dir, mutate)
+		if err := validateDir(dir); err == nil {
+			t.Fatal("validateDir accepted a wire reduction below the acceptance floor")
+		}
 	}
 }
 
@@ -50,6 +105,7 @@ func TestValidateDirRejectsMissingScenario(t *testing.T) {
 	for _, name := range names[:len(names)-1] {
 		writeResult(t, dir, name, nil)
 	}
+	writeScaling(t, dir, nil)
 	err := validateDir(dir)
 	if err == nil {
 		t.Fatal("validateDir accepted a directory missing a scenario result")
@@ -72,9 +128,7 @@ func TestValidateDirRejectsBadResults(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.label, func(t *testing.T) {
 			dir := t.TempDir()
-			for _, name := range experiments.ScenarioNames() {
-				writeResult(t, dir, name, nil)
-			}
+			writeDir(t, dir, nil)
 			writeResult(t, dir, experiments.ScenarioNames()[0], tc.mutate)
 			if err := validateDir(dir); err == nil {
 				t.Fatalf("validateDir accepted a result with %s", tc.label)
@@ -85,9 +139,7 @@ func TestValidateDirRejectsBadResults(t *testing.T) {
 
 func TestValidateDirRejectsGarbageJSON(t *testing.T) {
 	dir := t.TempDir()
-	for _, name := range experiments.ScenarioNames() {
-		writeResult(t, dir, name, nil)
-	}
+	writeDir(t, dir, nil)
 	path := filepath.Join(dir, "BENCH_"+experiments.ScenarioNames()[0]+".json")
 	if err := os.WriteFile(path, []byte(`{"schema": 7`), 0o644); err != nil {
 		t.Fatal(err)
@@ -99,9 +151,7 @@ func TestValidateDirRejectsGarbageJSON(t *testing.T) {
 
 func TestValidateDirRejectsTrailingData(t *testing.T) {
 	dir := t.TempDir()
-	for _, name := range experiments.ScenarioNames() {
-		writeResult(t, dir, name, nil)
-	}
+	writeDir(t, dir, nil)
 	path := filepath.Join(dir, "BENCH_"+experiments.ScenarioNames()[0]+".json")
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -117,23 +167,40 @@ func TestValidateDirRejectsTrailingData(t *testing.T) {
 
 func TestDiffDirsPassesWithinTolerance(t *testing.T) {
 	base, fresh := t.TempDir(), t.TempDir()
-	for _, name := range experiments.ScenarioNames() {
-		writeResult(t, base, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
-		// 1% worse: inside the 2% gate.
-		writeResult(t, fresh, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.02 })
-	}
+	// 1% worse: inside the 2% gate.
+	writeDir(t, base, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+	writeDir(t, fresh, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.02 })
 	if err := diffDirs(fresh, base); err != nil {
 		t.Fatalf("diffDirs rejected a within-tolerance trajectory: %v", err)
+	}
+}
+
+// TestDiffDirsIgnoresTimingButNotWire pins the scaling diff semantics: the
+// machine-dependent timing block may drift freely, the deterministic wire
+// block may not.
+func TestDiffDirsIgnoresTimingButNotWire(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeDir(t, base, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+	writeDir(t, fresh, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+	writeScaling(t, fresh, func(r *experiments.ScalingResult) { r.Points[0].Timing.StepSecMean = 99 })
+	if err := diffDirs(fresh, base); err != nil {
+		t.Fatalf("diffDirs rejected a timing-only scaling drift: %v", err)
+	}
+	writeScaling(t, fresh, func(r *experiments.ScalingResult) { r.Points[0].Wire.SteadyFanoutBytesPerIter = 99 })
+	err := diffDirs(fresh, base)
+	if err == nil {
+		t.Fatal("diffDirs accepted a drifted deterministic wire block")
+	}
+	if !strings.Contains(err.Error(), scalingFile) {
+		t.Fatalf("error does not name the scaling artifact: %v", err)
 	}
 }
 
 func TestDiffDirsFailsOnP99Regression(t *testing.T) {
 	base, fresh := t.TempDir(), t.TempDir()
 	names := experiments.ScenarioNames()
-	for _, name := range names {
-		writeResult(t, base, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
-		writeResult(t, fresh, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
-	}
+	writeDir(t, base, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+	writeDir(t, fresh, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
 	// 3% worse on one scenario: beyond the 2% gate.
 	writeResult(t, fresh, names[0], func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.06 })
 	err := diffDirs(fresh, base)
@@ -148,12 +215,11 @@ func TestDiffDirsFailsOnP99Regression(t *testing.T) {
 func TestDiffDirsFailsOnMissingBaseline(t *testing.T) {
 	base, fresh := t.TempDir(), t.TempDir()
 	names := experiments.ScenarioNames()
-	for _, name := range names {
-		writeResult(t, fresh, name, nil)
-	}
+	writeDir(t, fresh, nil)
 	for _, name := range names[:len(names)-1] {
 		writeResult(t, base, name, nil)
 	}
+	writeScaling(t, base, nil)
 	if err := diffDirs(fresh, base); err == nil {
 		t.Fatal("diffDirs accepted a missing baseline file")
 	}
@@ -173,10 +239,8 @@ func TestDiffDirsCommittedBaselinesSelfIdentical(t *testing.T) {
 func TestDiffDirsFailsOnImplausibleP99(t *testing.T) {
 	for _, bad := range []float64{0, -1} {
 		base, fresh := t.TempDir(), t.TempDir()
-		for _, name := range experiments.ScenarioNames() {
-			writeResult(t, base, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
-			writeResult(t, fresh, name, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
-		}
+		writeDir(t, base, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
+		writeDir(t, fresh, func(r *experiments.ScenarioResult) { r.NormFCT.P99 = 2.0 })
 		writeResult(t, fresh, experiments.ScenarioNames()[0], func(r *experiments.ScenarioResult) { r.NormFCT.P99 = bad })
 		if err := diffDirs(fresh, base); err == nil {
 			t.Errorf("diffDirs accepted a fresh normalized-FCT p99 of %g", bad)

@@ -42,6 +42,9 @@ type Config struct {
 	// staleness bound through.
 	Takeover         bool
 	HeartbeatTimeout time.Duration
+	// QuantizeRates passes the opt-in lossy wire mode through to every
+	// daemon (see server.Config.QuantizeRates).
+	QuantizeRates bool
 	// Logf, when set, receives every daemon's log lines prefixed with its
 	// shard index.
 	Logf func(format string, args ...any)
@@ -93,6 +96,7 @@ func New(cfg Config) (*Cluster, error) {
 			ShardIndex:       i,
 			Takeover:         cfg.Takeover,
 			HeartbeatTimeout: cfg.HeartbeatTimeout,
+			QuantizeRates:    cfg.QuantizeRates,
 			Logf:             logf,
 		})
 		if err != nil {
@@ -174,6 +178,30 @@ func (c *Cluster) Rates() map[int64]float64 {
 		}
 	}
 	return out
+}
+
+// WireStats sums the control-plane byte counters across every daemon:
+// rate fan-out bytes actually written (and their fixed v3-encoding cost),
+// and boundary-exchange bytes built (and their fixed cost). The fixed/actual
+// ratios are the wire v4 compression factors the scaling artifact reports.
+type WireStats struct {
+	FanoutBytes        int64
+	FanoutBytesFixed   int64
+	ExchangeBytes      int64
+	ExchangeBytesFixed int64
+}
+
+// WireStats aggregates the wire byte counters over all shards.
+func (c *Cluster) WireStats() WireStats {
+	var w WireStats
+	for _, srv := range c.servers {
+		st := srv.Stats()
+		w.FanoutBytes += st.FanoutBytes
+		w.FanoutBytesFixed += st.FanoutBytesFixed
+		w.ExchangeBytes += st.ExchangeBytes
+		w.ExchangeBytesFixed += st.ExchangeBytesFixed
+	}
+	return w
 }
 
 // Close shuts every daemon down.

@@ -81,6 +81,9 @@ type flowState struct {
 	id       FlowID
 	src, dst int
 	weight   float64
+	// size is the endpoint's flowlet-size hint in bytes (0 = unknown).
+	// Solvers ignore it today; it is kept for size-aware utilities.
+	size int64
 	// lastNotified is the rate most recently sent to the endpoint, or 0 if
 	// the endpoint has never been notified.
 	lastNotified float64
@@ -189,6 +192,13 @@ func (a *Allocator) ResetStats() { a.stats = TrafficStats{} }
 // given weight (1 for plain proportional fairness). It corresponds to a
 // flowlet-start notification arriving at the allocator.
 func (a *Allocator) FlowletStart(id FlowID, src, dst int, weight float64) error {
+	return a.FlowletStartSized(id, src, dst, weight, 0)
+}
+
+// FlowletStartSized is FlowletStart carrying the endpoint's flowlet-size
+// hint in bytes (0 = unknown). The hint is recorded in the flow metadata and
+// surfaced by LiveFlows; it does not affect allocation.
+func (a *Allocator) FlowletStartSized(id FlowID, src, dst int, weight float64, size int64) error {
 	if _, ok := a.indexByID[id]; ok {
 		return fmt.Errorf("core: flowlet %d already registered", id)
 	}
@@ -206,7 +216,7 @@ func (a *Allocator) FlowletStart(id FlowID, src, dst int, weight float64) error 
 		links[i] = int32(l)
 	}
 	idx := len(a.flows)
-	a.flows = append(a.flows, flowState{id: id, src: src, dst: dst, weight: weight})
+	a.flows = append(a.flows, flowState{id: id, src: src, dst: dst, weight: weight, size: size})
 	a.indexByID[id] = idx
 	// Flow weights are scaled by the link capacity so optimal prices are
 	// O(1), the same scale they are initialized to. Proportional fairness
@@ -260,7 +270,7 @@ func (a *Allocator) HasFlow(id FlowID) bool {
 func (a *Allocator) LiveFlows() []ParallelFlow {
 	out := make([]ParallelFlow, len(a.flows))
 	for i, f := range a.flows {
-		out[i] = ParallelFlow{ID: f.id, Src: f.src, Dst: f.dst, Weight: f.weight}
+		out[i] = ParallelFlow{ID: f.id, Src: f.src, Dst: f.dst, Weight: f.weight, SizeHint: f.size}
 	}
 	return out
 }

@@ -20,6 +20,9 @@ type ParallelFlow struct {
 	Src, Dst int
 	// Weight is the log-utility weight (1 when zero).
 	Weight float64
+	// SizeHint is the endpoint's flowlet-size hint in bytes (0 = unknown);
+	// solvers ignore it.
+	SizeHint int64
 }
 
 // flowBlock is the state owned by one worker: its flows in a flat CSR layout
@@ -45,6 +48,7 @@ type flowBlock struct {
 	dsts        []int32
 	weights     []float64
 	baseWeights []float64
+	sizes       []int64
 	rates       []float64
 	// lastNotified is the rate most recently reported through
 	// AppendUpdates. Carrying it alongside the CSR (and applying the same
@@ -84,6 +88,7 @@ func (fb *flowBlock) addFlow(f ParallelFlow, weight, baseWeight float64, upN, do
 	fb.dsts = append(fb.dsts, int32(f.Dst))
 	fb.weights = append(fb.weights, weight)
 	fb.baseWeights = append(fb.baseWeights, baseWeight)
+	fb.sizes = append(fb.sizes, f.SizeHint)
 	fb.rates = append(fb.rates, 0)
 	fb.lastNotified = append(fb.lastNotified, 0)
 	fb.upOff = append(fb.upOff, int32(len(fb.upIdx)-upN))
@@ -106,6 +111,7 @@ func (fb *flowBlock) removeSwap(i int) FlowID {
 		fb.dsts[i] = fb.dsts[last]
 		fb.weights[i] = fb.weights[last]
 		fb.baseWeights[i] = fb.baseWeights[last]
+		fb.sizes[i] = fb.sizes[last]
 		fb.rates[i] = fb.rates[last]
 		fb.lastNotified[i] = fb.lastNotified[last]
 		fb.upOff[i] = fb.upOff[last]
@@ -119,6 +125,7 @@ func (fb *flowBlock) removeSwap(i int) FlowID {
 	fb.dsts = fb.dsts[:last]
 	fb.weights = fb.weights[:last]
 	fb.baseWeights = fb.baseWeights[:last]
+	fb.sizes = fb.sizes[:last]
 	fb.rates = fb.rates[:last]
 	fb.lastNotified = fb.lastNotified[:last]
 	fb.upOff = fb.upOff[:last]
@@ -144,6 +151,7 @@ func (fb *flowBlock) reset() {
 	fb.dsts = fb.dsts[:0]
 	fb.weights = fb.weights[:0]
 	fb.baseWeights = fb.baseWeights[:0]
+	fb.sizes = fb.sizes[:0]
 	fb.rates = fb.rates[:0]
 	fb.lastNotified = fb.lastNotified[:0]
 	fb.upIdx = fb.upIdx[:0]
@@ -432,10 +440,17 @@ func (p *ParallelAllocator) HasFlow(id FlowID) bool {
 // an O(route length) operation that leaves every other flow untouched. It may
 // only be called while no Iterate call is in flight.
 func (p *ParallelAllocator) FlowletStart(id FlowID, src, dst int, weight float64) error {
+	return p.FlowletStartSized(id, src, dst, weight, 0)
+}
+
+// FlowletStartSized is FlowletStart carrying the endpoint's flowlet-size
+// hint in bytes (0 = unknown). The hint is recorded in the flow metadata and
+// surfaced by LiveFlows; it does not affect allocation.
+func (p *ParallelAllocator) FlowletStartSized(id FlowID, src, dst int, weight float64, size int64) error {
 	if _, dup := p.loc[id]; dup {
 		return fmt.Errorf("core: flowlet %d already registered", id)
 	}
-	return p.addFlow(ParallelFlow{ID: id, Src: src, Dst: dst, Weight: weight})
+	return p.addFlow(ParallelFlow{ID: id, Src: src, Dst: dst, Weight: weight, SizeHint: size})
 }
 
 // addFlow routes and appends one flow (shared by FlowletStart and SetFlows;
@@ -568,10 +583,11 @@ func (p *ParallelAllocator) LiveFlows() []ParallelFlow {
 	for _, fb := range p.fbs {
 		for i, id := range fb.ids {
 			out = append(out, ParallelFlow{
-				ID:     id,
-				Src:    int(fb.srcs[i]),
-				Dst:    int(fb.dsts[i]),
-				Weight: fb.baseWeights[i],
+				ID:       id,
+				Src:      int(fb.srcs[i]),
+				Dst:      int(fb.dsts[i]),
+				Weight:   fb.baseWeights[i],
+				SizeHint: fb.sizes[i],
 			})
 		}
 	}

@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// ScalingResultSchema identifies the BENCH_scaling.json layout.
+const ScalingResultSchema = "flowtune-bench/scaling/v1"
+
+// ScalingConfig configures the wire-scaling sweep.
+type ScalingConfig struct {
+	// Short shrinks the sweep for CI smoke runs; the committed
+	// BENCH_scaling.json is a short run, like every other baseline.
+	Short bool
+	// Seed seeds the synthetic flowlet churn. Identical configurations and
+	// seeds produce results whose wire blocks are byte-identical.
+	Seed int64
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// ScalingWire is the deterministic half of a scaling point: wire bytes per
+// allocator iteration, counted at encode time, with the fixed v3-encoding
+// cost of the same traffic alongside. The CI diff gate compares these
+// exactly.
+type ScalingWire struct {
+	// Converge counters average the first iterations after registration,
+	// when every flow receives its first rates (the fan-out-heavy regime);
+	// Steady counters average later iterations under a seeded churn of
+	// ~1% of flows per iteration.
+	ConvergeFanoutBytesPerIter int64 `json:"converge_fanout_bytes_per_iter"`
+	ConvergeFanoutFixedPerIter int64 `json:"converge_fanout_fixed_per_iter"`
+	SteadyFanoutBytesPerIter   int64 `json:"steady_fanout_bytes_per_iter"`
+	SteadyFanoutFixedPerIter   int64 `json:"steady_fanout_fixed_per_iter"`
+	// Exchange counters are zero (omitted) for single-daemon points.
+	SteadyExchangeBytesPerIter int64 `json:"steady_exchange_bytes_per_iter,omitempty"`
+	SteadyExchangeFixedPerIter int64 `json:"steady_exchange_fixed_per_iter,omitempty"`
+	// FanoutCompression and ExchangeCompression are the fixed/actual byte
+	// ratios over the whole run (registration through steady churn).
+	FanoutCompression   float64 `json:"fanout_compression"`
+	ExchangeCompression float64 `json:"exchange_compression,omitempty"`
+}
+
+// ScalingTiming is the wall-clock half of a scaling point. It is recorded
+// for the curve but ignored by the CI diff gate (machine-dependent).
+type ScalingTiming struct {
+	// RegisterSec is the wall time to push and fold every initial flowlet
+	// registration through the wire.
+	RegisterSec float64 `json:"register_sec"`
+	// StepSecMean and StepSecMax summarize one allocator iteration
+	// (solve + encode + fan-out + decode) over the measured steps.
+	StepSecMean float64 `json:"step_sec_mean"`
+	StepSecMax  float64 `json:"step_sec_max"`
+	// RateUpdateLatencyNs is steady-phase step wall time divided by rate
+	// updates delivered in it: the endpoint-visible cost of one update.
+	RateUpdateLatencyNs float64 `json:"rate_update_latency_ns"`
+}
+
+// ScalingPoint is one cell of the sweep.
+type ScalingPoint struct {
+	Label    string        `json:"label"`
+	Topology string        `json:"topology"`
+	Flows    int           `json:"flows"`
+	Shards   int           `json:"shards"`
+	Blocks   int           `json:"blocks"`
+	Wire     ScalingWire   `json:"wire"`
+	Timing   ScalingTiming `json:"timing"`
+}
+
+// ScalingScenarioWire publishes the wire byte counters of the sharded-incast
+// scenario — the acceptance benchmark of the wire v4 delta encoding. The
+// Reduction fields are the fixed-v3 / actual byte ratios; the PR gate
+// requires both to stay at or above 2.
+type ScalingScenarioWire struct {
+	FanoutBytes        int64   `json:"fanout_bytes"`
+	FanoutBytesFixed   int64   `json:"fanout_bytes_fixed"`
+	FanoutReduction    float64 `json:"fanout_reduction"`
+	ExchangeBytes      int64   `json:"exchange_bytes"`
+	ExchangeBytesFixed int64   `json:"exchange_bytes_fixed"`
+	ExchangeReduction  float64 `json:"exchange_reduction"`
+}
+
+// ScalingResult is the machine-readable outcome of the sweep,
+// BENCH_scaling.json.
+type ScalingResult struct {
+	Schema string `json:"schema"`
+	Short  bool   `json:"short"`
+	Seed   int64  `json:"seed"`
+	// Points sweeps the flow count on a k=16 fat-tree (single daemon; the
+	// shard map and block partition are two-tier constructs) and the shard
+	// and block counts on a 1024-host two-tier fabric.
+	Points []ScalingPoint `json:"points"`
+	// ShardedIncast is the end-to-end acceptance measurement: the
+	// sharded-incast scenario's wire bytes against their fixed v3 cost.
+	ShardedIncast ScalingScenarioWire `json:"sharded_incast"`
+}
+
+// scalingCell describes one sweep cell before it runs.
+type scalingCell struct {
+	label   string
+	fatTree bool // flows axis runs on the fat-tree
+	flows   int
+	shards  int
+	blocks  int
+}
+
+// scalingCells enumerates the sweep. The flow axis climbs toward the
+// million-flowlet regime the paper targets; short mode keeps CI smoke runs
+// in seconds.
+func scalingCells(short bool) []scalingCell {
+	if short {
+		return []scalingCell{
+			{label: "flows-2k", fatTree: true, flows: 2_000, shards: 1},
+			{label: "flows-10k", fatTree: true, flows: 10_000, shards: 1},
+			{label: "shards-2", flows: 5_000, shards: 2},
+			{label: "shards-4", flows: 5_000, shards: 4},
+			{label: "blocks-2", flows: 5_000, shards: 1, blocks: 2},
+			{label: "shards-2x2", flows: 5_000, shards: 2, blocks: 2},
+		}
+	}
+	return []scalingCell{
+		{label: "flows-10k", fatTree: true, flows: 10_000, shards: 1},
+		{label: "flows-100k", fatTree: true, flows: 100_000, shards: 1},
+		{label: "flows-1m", fatTree: true, flows: 1_000_000, shards: 1},
+		{label: "shards-2", flows: 100_000, shards: 2},
+		{label: "shards-4", flows: 100_000, shards: 4},
+		{label: "shards-8", flows: 100_000, shards: 8},
+		{label: "blocks-2", flows: 100_000, shards: 1, blocks: 2},
+		{label: "blocks-4", flows: 100_000, shards: 1, blocks: 4},
+		{label: "shards-4x2", flows: 100_000, shards: 4, blocks: 2},
+	}
+}
+
+// scalingIters returns the (converge, steady) iteration counts.
+func scalingIters(short bool) (int, int) {
+	if short {
+		return 6, 6
+	}
+	return 8, 8
+}
+
+// scalingBackend is the slice of AllocClient and ShardedClient the sweep
+// drives.
+type scalingBackend interface {
+	FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error
+	FlowletEnd(id core.FlowID) error
+	Flush() error
+	Step() ([]core.RateUpdate, error)
+}
+
+// wireCounters snapshots the daemon-side byte counters.
+type wireCounters struct {
+	fanout, fanoutFixed, exch, exchFixed int64
+}
+
+func (w wireCounters) sub(prev wireCounters) wireCounters {
+	return wireCounters{
+		fanout:      w.fanout - prev.fanout,
+		fanoutFixed: w.fanoutFixed - prev.fanoutFixed,
+		exch:        w.exch - prev.exch,
+		exchFixed:   w.exchFixed - prev.exchFixed,
+	}
+}
+
+// RunScaling executes the wire-scaling sweep and the sharded-incast
+// acceptance measurement.
+func RunScaling(cfg ScalingConfig) (*ScalingResult, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &ScalingResult{Schema: ScalingResultSchema, Short: cfg.Short, Seed: cfg.Seed}
+	for _, cell := range scalingCells(cfg.Short) {
+		logf("scaling %s: %d flows, %d shards, %d blocks", cell.label, cell.flows, cell.shards, cell.blocks)
+		pt, err := runScalingCell(cell, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling %s: %w", cell.label, err)
+		}
+		logf("scaling %s: fan-out %d B/iter steady (v3 %d), step %.2f ms",
+			pt.Label, pt.Wire.SteadyFanoutBytesPerIter, pt.Wire.SteadyFanoutFixedPerIter, pt.Timing.StepSecMean*1e3)
+		res.Points = append(res.Points, *pt)
+	}
+
+	// The acceptance benchmark: the sharded-incast scenario end to end,
+	// wire counters against their fixed v3 cost.
+	scCfg, err := NamedScenario("sharded-incast", cfg.Short, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	logf("scaling: running sharded-incast for the wire acceptance numbers")
+	sc, err := RunScenario(scCfg)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Wire == nil {
+		return nil, fmt.Errorf("experiments: sharded-incast reported no wire stats")
+	}
+	res.ShardedIncast = ScalingScenarioWire{
+		FanoutBytes:        sc.Wire.FanoutBytes,
+		FanoutBytesFixed:   sc.Wire.FanoutBytesFixed,
+		ExchangeBytes:      sc.Wire.ExchangeBytes,
+		ExchangeBytesFixed: sc.Wire.ExchangeBytesFixed,
+	}
+	if sc.Wire.FanoutBytes > 0 {
+		res.ShardedIncast.FanoutReduction = float64(sc.Wire.FanoutBytesFixed) / float64(sc.Wire.FanoutBytes)
+	}
+	if sc.Wire.ExchangeBytes > 0 {
+		res.ShardedIncast.ExchangeReduction = float64(sc.Wire.ExchangeBytesFixed) / float64(sc.Wire.ExchangeBytes)
+	}
+	logf("scaling: sharded-incast fan-out reduction %.2fx, exchange reduction %.2fx",
+		res.ShardedIncast.FanoutReduction, res.ShardedIncast.ExchangeReduction)
+	return res, nil
+}
+
+// runScalingCell measures one sweep cell.
+func runScalingCell(cell scalingCell, cfg ScalingConfig) (*ScalingPoint, error) {
+	var (
+		topo     *topology.Topology
+		topoName string
+		err      error
+	)
+	if cell.fatTree {
+		base := topology.DefaultSimConfig()
+		topo, err = topology.NewFatTree(topology.FatTreeConfig{
+			K:             16,
+			LinkCapacity:  base.LinkCapacity,
+			LinkDelay:     base.LinkDelay,
+			HostDelay:     base.HostDelay,
+			WithAllocator: true,
+		})
+		topoName = "fattree(k=16)"
+	} else {
+		tcfg := topology.Config{Racks: 32, ServersPerRack: 32, Spines: 16, LinkCapacity: 10e9}
+		if cfg.Short {
+			tcfg = topology.Config{Racks: 8, ServersPerRack: 8, Spines: 4, LinkCapacity: 10e9}
+		}
+		topo, err = topology.NewTwoTier(tcfg)
+		topoName = fmt.Sprintf("leafspine(%dx%d,%d spines)", tcfg.Racks, tcfg.ServersPerRack, tcfg.Spines)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		backend  scalingBackend
+		counters func() wireCounters
+	)
+	if cell.shards > 1 {
+		cl, err := cluster.New(cluster.Config{Topology: topo, Shards: cell.shards, Blocks: cell.blocks})
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		cli, err := cl.Client(uint64(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		defer cli.Close()
+		backend = cli
+		counters = func() wireCounters {
+			w := cl.WireStats()
+			return wireCounters{w.FanoutBytes, w.FanoutBytesFixed, w.ExchangeBytes, w.ExchangeBytesFixed}
+		}
+	} else {
+		srv, err := server.New(server.Config{Topology: topo, Blocks: cell.blocks})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		clientEnd, serverEnd := net.Pipe()
+		go srv.ServeConn(serverEnd)
+		cli, err := transport.NewAllocClient(clientEnd, uint64(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		defer cli.Close()
+		backend = cli
+		counters = func() wireCounters {
+			st := srv.Stats()
+			return wireCounters{st.FanoutBytes, st.FanoutBytesFixed, st.ExchangeBytes, st.ExchangeBytesFixed}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(cell.label))))
+	n := topo.NumServers()
+	newFlow := func(id core.FlowID) error {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		for dst == src {
+			dst = rng.Intn(n)
+		}
+		// Size hints follow a heavy-tailed-ish spread (10 KB – 10 MB) so
+		// the wire v4 sized adds are exercised at scale.
+		size := int64(10_000) << rng.Intn(11)
+		return backend.FlowletStartSized(id, src, dst, 1, size)
+	}
+
+	pt := &ScalingPoint{Label: cell.label, Topology: topoName, Flows: cell.flows,
+		Shards: cell.shards, Blocks: cell.blocks}
+
+	// Register the initial population, flushing in batches, and fold it in
+	// with one step.
+	start := time.Now()
+	next := core.FlowID(1)
+	for i := 0; i < cell.flows; i++ {
+		if err := newFlow(next); err != nil {
+			return nil, err
+		}
+		next++
+		if i%4096 == 4095 {
+			if err := backend.Flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := backend.Step(); err != nil {
+		return nil, err
+	}
+	pt.Timing.RegisterSec = time.Since(start).Seconds()
+
+	convergeIters, steadyIters := scalingIters(cfg.Short)
+	var stepDurs []time.Duration
+	stepN := func(iters int, churn int, oldest *core.FlowID) (int64, error) {
+		var updates int64
+		for i := 0; i < iters; i++ {
+			for j := 0; j < churn; j++ {
+				if err := backend.FlowletEnd(*oldest); err != nil {
+					return 0, err
+				}
+				*oldest++
+				if err := newFlow(next); err != nil {
+					return 0, err
+				}
+				next++
+			}
+			t0 := time.Now()
+			ups, err := backend.Step()
+			if err != nil {
+				return 0, err
+			}
+			stepDurs = append(stepDurs, time.Since(t0))
+			updates += int64(len(ups))
+		}
+		return updates, nil
+	}
+
+	// Converge phase: the population's first rates fan out.
+	before := counters()
+	oldest := core.FlowID(1)
+	if _, err := stepN(convergeIters, 0, &oldest); err != nil {
+		return nil, err
+	}
+	conv := counters().sub(before)
+	pt.Wire.ConvergeFanoutBytesPerIter = conv.fanout / int64(convergeIters)
+	pt.Wire.ConvergeFanoutFixedPerIter = conv.fanoutFixed / int64(convergeIters)
+
+	// Steady phase: ~1% of flows churn per iteration, so the fan-out
+	// carries genuine rate movement rather than silence.
+	churn := cell.flows / 100
+	if churn < 1 {
+		churn = 1
+	}
+	if churn > 2048 {
+		churn = 2048
+	}
+	stepDurs = stepDurs[:0]
+	before = counters()
+	steadyStart := time.Now()
+	updates, err := stepN(steadyIters, churn, &oldest)
+	if err != nil {
+		return nil, err
+	}
+	steadyWall := time.Since(steadyStart)
+	steady := counters().sub(before)
+	pt.Wire.SteadyFanoutBytesPerIter = steady.fanout / int64(steadyIters)
+	pt.Wire.SteadyFanoutFixedPerIter = steady.fanoutFixed / int64(steadyIters)
+	pt.Wire.SteadyExchangeBytesPerIter = steady.exch / int64(steadyIters)
+	pt.Wire.SteadyExchangeFixedPerIter = steady.exchFixed / int64(steadyIters)
+
+	total := counters()
+	if total.fanout > 0 {
+		pt.Wire.FanoutCompression = float64(total.fanoutFixed) / float64(total.fanout)
+	}
+	if total.exch > 0 {
+		pt.Wire.ExchangeCompression = float64(total.exchFixed) / float64(total.exch)
+	}
+
+	var sum, max time.Duration
+	for _, d := range stepDurs {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if len(stepDurs) > 0 {
+		pt.Timing.StepSecMean = (sum / time.Duration(len(stepDurs))).Seconds()
+		pt.Timing.StepSecMax = max.Seconds()
+	}
+	if updates > 0 {
+		pt.Timing.RateUpdateLatencyNs = float64(steadyWall.Nanoseconds()) / float64(updates)
+	}
+	return pt, nil
+}

@@ -219,6 +219,23 @@ type ScenarioResult struct {
 	// Control carries the control-plane latency and staleness measurements
 	// of a MeasureControlLatency run; nil (omitted) otherwise.
 	Control *ControlStats `json:"control,omitempty"`
+	// Wire carries the daemon-side wire v4 byte counters of a Daemon run.
+	// It is deliberately excluded from the serialized result: the counters
+	// depend on the wire encoding, and keeping them out of BENCH_*.json
+	// lets every committed scenario baseline stay byte-identical across
+	// wire versions. The scaling artifact (BENCH_scaling.json) is where
+	// they are published and diffed.
+	Wire *WireScenarioStats `json:"-"`
+}
+
+// WireScenarioStats aggregates the daemons' fan-out and exchange byte
+// counters over a scenario run, with the fixed v3-encoding cost of the same
+// traffic alongside for the compression ratio.
+type WireScenarioStats struct {
+	FanoutBytes        int64
+	FanoutBytesFixed   int64
+	ExchangeBytes      int64
+	ExchangeBytesFixed int64
 }
 
 // ChaosStats is the recovery accounting of one chaos-failover injection.
@@ -583,6 +600,24 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			P99NFCT:  s.P99,
 		})
 	}
+	// Daemon-backed runs report their wire byte counters (not serialized;
+	// see WireScenarioStats).
+	if cl != nil {
+		w := cl.WireStats()
+		res.Wire = &WireScenarioStats{
+			FanoutBytes:        w.FanoutBytes,
+			FanoutBytesFixed:   w.FanoutBytesFixed,
+			ExchangeBytes:      w.ExchangeBytes,
+			ExchangeBytesFixed: w.ExchangeBytesFixed,
+		}
+	} else if srv != nil {
+		st := srv.Stats()
+		res.Wire = &WireScenarioStats{
+			FanoutBytes:      st.FanoutBytes,
+			FanoutBytesFixed: st.FanoutBytesFixed,
+		}
+	}
+
 	res.GoodputBps = float64((eng.DeliveredBytes()-warmupBytes)*8) / cfg.Duration
 	res.AchievedLoad = res.GoodputBps / (float64(topo.NumServers()) * topo.Config().LinkCapacity)
 	res.DroppedBytes = eng.DroppedBytes()

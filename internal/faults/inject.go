@@ -221,6 +221,18 @@ func (in *Injector) FlowletStart(id core.FlowID, src, dst int, weight float64) e
 	return in.inner.FlowletStart(id, src, dst, weight)
 }
 
+// FlowletStartSized forwards the wire v4 size-hinted registration when the
+// inner backend carries it, degrading to a plain start otherwise.
+func (in *Injector) FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error {
+	type sized interface {
+		FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error
+	}
+	if s, ok := in.inner.(sized); ok {
+		return s.FlowletStartSized(id, src, dst, weight, size)
+	}
+	return in.inner.FlowletStart(id, src, dst, weight)
+}
+
 // FlowletEnd forwards to the inner backend.
 func (in *Injector) FlowletEnd(id core.FlowID) error { return in.inner.FlowletEnd(id) }
 

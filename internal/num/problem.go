@@ -135,15 +135,22 @@ func NewState(p *Problem) *State {
 }
 
 // Resize adjusts the Rates slice to match a changed flow count, preserving
-// prices. New flows start with rate zero.
+// prices. New flows start with rate zero. Growth doubles the capacity:
+// Resize runs once per flowlet add, and an exact-fit reallocation would make
+// registering n flows O(n²) in copied bytes — hours, not seconds, at the
+// million-flow scale.
 func (s *State) Resize(numFlows int) {
 	if cap(s.Rates) >= numFlows {
 		s.Rates = s.Rates[:numFlows]
-	} else {
-		r := make([]float64, numFlows)
-		copy(r, s.Rates)
-		s.Rates = r
+		return
 	}
+	newCap := 2 * cap(s.Rates)
+	if newCap < numFlows {
+		newCap = numFlows
+	}
+	r := make([]float64, numFlows, newCap)
+	copy(r, s.Rates)
+	s.Rates = r
 }
 
 // PathPrice returns the sum of prices along a route.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sort"
 	"sync"
@@ -51,12 +52,18 @@ type exchanger interface {
 // exchangeMsg is one inbound peer frame waiting for the next iteration
 // boundary. For a digest, vals/hdiag are the load/sensitivity entries; for a
 // snapshot, vals holds prices and hdiag is nil; for a takeover announcement,
-// from is the adopter and dead the adopted daemon.
+// from is the adopter and dead the adopted daemon. delta marks a wire v4
+// delta frame (entries are a partial update; absent links keep their prior
+// imported values) and reset re-baselines: a reset digest zeroes the
+// sender's contributions before applying, a reset snapshot is a complete
+// price listing.
 type exchangeMsg struct {
 	from     uint32
 	seq      uint64
 	snapshot bool
 	takeover bool
+	delta    bool
+	reset    bool
 	dead     uint32
 	links    []int32
 	vals     []float64
@@ -71,13 +78,14 @@ type replicaState struct {
 	flows []wire.FlowStateEntry
 }
 
-// snapRecord retains the latest accepted PriceSnapshot from one peer daemon
-// (the prices of the links it serves), so its successor can seed them when
-// adopting.
+// snapRecord retains the latest accepted prices from one peer daemon (the
+// links it serves), so its successor can seed them when adopting. It is a
+// merged map rather than the raw frames: v4 delta snapshots carry only the
+// changed links, so the record accumulates across sequences and always holds
+// the peer's full price set.
 type snapRecord struct {
 	seq    uint64
-	links  []topology.LinkID
-	prices []float64
+	prices map[topology.LinkID]float64
 }
 
 // peerConn is one outbound shard-to-shard connection; this daemon pushes its
@@ -92,6 +100,27 @@ type peerConn struct {
 	// acks is the number of ExchangeAcks the pending bundle will produce
 	// (one per snapshot chunk; receivers ack each chunk).
 	acks int
+	// version is the wire protocol negotiated with this peer (the minimum
+	// of both daemons' PeerHello versions); v4 peers get delta bundles.
+	version uint16
+	// needReset forces the next bundle to carry full (reset) digest and
+	// snapshot frames. Set on a fresh connection — the receiver's imported
+	// state is unknown — and whenever served-shard ownership changes.
+	needReset bool
+	// digestShadow / snapShadow record, per link, the (load, hdiag) and
+	// price bit patterns last encoded for this peer; a delta bundle lists
+	// only links whose value differs (missing key = send). Shadows advance
+	// optimistically at build time: any push failure drops the whole
+	// peerConn, and the reconnect's fresh connection starts with a reset,
+	// so sender shadow and receiver state can never drift apart. Keyed by
+	// LinkID, not boundary position, so they stay valid across takeovers.
+	digestShadow map[topology.LinkID][2]uint64
+	snapShadow   map[topology.LinkID]uint64
+	// Reused delta-entry scratch.
+	dLinks         []uint32
+	dLoads, dHdiag []float64
+	sLinks         []uint32
+	sPrices        []float64
 }
 
 // peerExchangeTimeout bounds one bundle push (write + acks): a peer that is
@@ -379,7 +408,13 @@ func (s *Server) ConnectPeer(conn net.Conn) (int, error) {
 		conn.Close()
 		return -1, err
 	}
-	pc := &peerConn{shard: int(reply.Shard), conn: conn, sc: sc}
+	pc := &peerConn{
+		shard:     int(reply.Shard),
+		conn:      conn,
+		sc:        sc,
+		version:   min(reply.Version, wire.Version),
+		needReset: true,
+	}
 	s.shard.pmu.Lock()
 	old := s.shard.peers[pc.shard]
 	s.shard.peers[pc.shard] = pc
@@ -479,15 +514,20 @@ func (s *Server) buildExchangeLocked(seq uint64) []*peerConn {
 			continue
 		}
 		buf := pc.buf[:0]
-		for start := 0; start < len(remote); start += wire.MaxDigestEntries {
-			end := min(start+wire.MaxDigestEntries, len(remote))
-			buf = wire.AppendPriceDigestHeader(buf, seq, uint32(st.index), end-start)
-			for i := start; i < end; i++ {
-				buf = wire.AppendDigestEntry(buf, wire.DigestEntry{
-					Link: uint32(remote[i]), Load: loads[i], Hdiag: hdiag[i],
-				})
+		if pc.version >= 4 {
+			buf = pc.appendDigestDelta(buf, seq, uint32(st.index), remote, loads, hdiag)
+		} else {
+			for start := 0; start < len(remote); start += wire.MaxDigestEntries {
+				end := min(start+wire.MaxDigestEntries, len(remote))
+				buf = wire.AppendPriceDigestHeader(buf, seq, uint32(st.index), end-start)
+				for i := start; i < end; i++ {
+					buf = wire.AppendDigestEntry(buf, wire.DigestEntry{
+						Link: uint32(remote[i]), Load: loads[i], Hdiag: hdiag[i],
+					})
+				}
 			}
 		}
+		exchBytes := len(buf)
 		if st.takeover {
 			buf = wire.AppendHeartbeat(buf, wire.Heartbeat{Seq: seq, Shard: uint32(st.index)})
 		}
@@ -513,21 +553,151 @@ func (s *Server) buildExchangeLocked(seq uint64) []*peerConn {
 		// bundle will produce for sendExchange to await. Snapshot chunks go
 		// last: their acks therefore confirm delivery of the whole bundle,
 		// including any replica and takeover frames written above.
+		ctrl := len(buf)
 		pc.acks = 0
-		for start := 0; start < len(st.boundary); start += wire.MaxSnapshotEntries {
-			end := min(start+wire.MaxSnapshotEntries, len(st.boundary))
-			buf = wire.AppendPriceSnapshotHeader(buf, epoch, seq, uint32(st.index), end-start)
-			for i := start; i < end; i++ {
-				buf = wire.AppendSnapshotEntry(buf, wire.SnapshotEntry{
-					Link: uint32(st.boundary[i]), Price: st.snapPrices[i],
-				})
+		if pc.version >= 4 {
+			buf = pc.appendSnapshotDelta(buf, epoch, seq, uint32(st.index), st.boundary, st.snapPrices)
+		} else {
+			for start := 0; start < len(st.boundary); start += wire.MaxSnapshotEntries {
+				end := min(start+wire.MaxSnapshotEntries, len(st.boundary))
+				buf = wire.AppendPriceSnapshotHeader(buf, epoch, seq, uint32(st.index), end-start)
+				for i := start; i < end; i++ {
+					buf = wire.AppendSnapshotEntry(buf, wire.SnapshotEntry{
+						Link: uint32(st.boundary[i]), Price: st.snapPrices[i],
+					})
+				}
+				pc.acks++
 			}
-			pc.acks++
 		}
+		exchBytes += len(buf) - ctrl
+		pc.needReset = false
 		pc.buf = buf
 		pc.seq = seq
+		// Exchange byte accounting happens at build time, not send time, so
+		// the counters are deterministic in step-driven runs. Heartbeat,
+		// takeover, and replica frames are excluded: they exist in both
+		// encodings unchanged.
+		s.stExchBytes.Add(int64(exchBytes))
+		s.stExchFixed.Add(fixedExchangeBytes(len(remote), len(st.boundary)))
 	}
 	return peers
+}
+
+// appendDigestDelta encodes this iteration's digest for a v4 peer. On a
+// fresh or resyncing connection it emits a reset digest — the receiver
+// zeroes this daemon's contributions before applying it, so all-zero links
+// can be omitted. Afterwards only links whose (load, hdiag) pair changed
+// bit-wise since the last built bundle are listed; the receiver keeps prior
+// values for omitted links, which is exactly what refreshing them from a
+// full v3 digest would produce. A quiet iteration still emits one empty
+// frame (header only): the fold and staleness counters measure per-iteration
+// exchange behaviour, and an explicit "nothing changed" marker keeps them —
+// and every committed baseline that records them — identical across wire
+// versions at a cost of a few bytes.
+func (pc *peerConn) appendDigestDelta(buf []byte, seq uint64, shard uint32, remote []topology.LinkID, loads, hdiag []float64) []byte {
+	reset := pc.needReset || pc.digestShadow == nil
+	if pc.digestShadow == nil {
+		pc.digestShadow = make(map[topology.LinkID][2]uint64, len(remote))
+	} else if reset {
+		clear(pc.digestShadow)
+	}
+	links := pc.dLinks[:0]
+	dl := pc.dLoads[:0]
+	dh := pc.dHdiag[:0]
+	for i, l := range remote {
+		bits := [2]uint64{math.Float64bits(loads[i]), math.Float64bits(hdiag[i])}
+		if reset {
+			pc.digestShadow[l] = bits
+			if loads[i] == 0 && hdiag[i] == 0 {
+				continue // implied by the reset
+			}
+		} else {
+			if prev, ok := pc.digestShadow[l]; ok && prev == bits {
+				continue
+			}
+			pc.digestShadow[l] = bits
+		}
+		links = append(links, uint32(l))
+		dl = append(dl, loads[i])
+		dh = append(dh, hdiag[i])
+	}
+	pc.dLinks, pc.dLoads, pc.dHdiag = links, dl, dh
+	for start := 0; ; start += wire.MaxDigestDeltaEntries {
+		end := min(start+wire.MaxDigestDeltaEntries, len(links))
+		buf = wire.AppendPriceDigestDelta(buf, seq, shard, reset && start == 0, links[start:end], dl[start:end], dh[start:end])
+		if end >= len(links) {
+			break
+		}
+	}
+	return buf
+}
+
+// appendSnapshotDelta encodes this iteration's boundary-price snapshot for a
+// v4 peer and sets pc.acks. A reset lists every boundary link — a pinned
+// zero price is not the same as no pin, so resets cannot omit entries —
+// while later bundles list only changed prices. At least one (possibly
+// empty) frame is always emitted: the receiver acks each snapshot-delta
+// chunk, and that ack is the delivery barrier step-driven determinism rests
+// on.
+func (pc *peerConn) appendSnapshotDelta(buf []byte, epoch, seq uint64, shard uint32, boundary []topology.LinkID, prices []float64) []byte {
+	reset := pc.needReset || pc.snapShadow == nil
+	if pc.snapShadow == nil {
+		pc.snapShadow = make(map[topology.LinkID]uint64, len(boundary))
+	} else if reset {
+		clear(pc.snapShadow)
+	}
+	links := pc.sLinks[:0]
+	vals := pc.sPrices[:0]
+	for i, l := range boundary {
+		bits := math.Float64bits(prices[i])
+		if !reset {
+			if prev, ok := pc.snapShadow[l]; ok && prev == bits {
+				continue
+			}
+		}
+		pc.snapShadow[l] = bits
+		links = append(links, uint32(l))
+		vals = append(vals, prices[i])
+	}
+	pc.sLinks, pc.sPrices = links, vals
+	pc.acks = 0
+	for start := 0; ; start += wire.MaxSnapshotDeltaEntries {
+		end := min(start+wire.MaxSnapshotDeltaEntries, len(links))
+		buf = wire.AppendPriceSnapshotDelta(buf, epoch, seq, shard, reset && start == 0, links[start:end], vals[start:end])
+		pc.acks++
+		if end >= len(links) {
+			break
+		}
+	}
+	return buf
+}
+
+// fixedExchangeBytes is the wire cost this bundle's digest and snapshot
+// would have as fixed v3 frames with v3 chunking — the baseline of the
+// ExchangeBytesFixed counter.
+func fixedExchangeBytes(nRemote, nBoundary int) int64 {
+	var b int64
+	for start := 0; start < nRemote; start += wire.MaxDigestEntries {
+		b += int64(wire.PriceDigestSize(min(wire.MaxDigestEntries, nRemote-start)))
+	}
+	for start := 0; start < nBoundary; start += wire.MaxSnapshotEntries {
+		b += int64(wire.PriceSnapshotSize(min(wire.MaxSnapshotEntries, nBoundary-start)))
+	}
+	return b
+}
+
+// markResyncPeers forces the next bundle to every connected peer to carry a
+// full (reset) digest and snapshot. Called whenever served-shard ownership
+// changes: the per-link shadows themselves stay valid across a takeover
+// (both sides track links, not boundary positions), but a full resync after
+// the rare ownership change keeps the sender/receiver invariant easy to
+// audit and bounds any divergence to one exchange round.
+func (st *shardState) markResyncPeers() {
+	st.pmu.Lock()
+	for _, pc := range st.peers {
+		pc.needReset = true
+	}
+	st.pmu.Unlock()
 }
 
 // remoteLinksFor returns the boundary links of every shard a peer daemon
@@ -648,6 +818,8 @@ func (s *Server) servePeer(conn net.Conn, sc *wire.Scanner, payload []byte) erro
 	s.logf("peer shard %d session from %v (epoch %d)", hello.Shard, conn.RemoteAddr(), hello.Epoch)
 
 	var ack []byte
+	var dd wire.PriceDigestDelta
+	var sd wire.PriceSnapshotDelta
 	for {
 		typ, payload, err := sc.Next()
 		if err != nil {
@@ -668,6 +840,31 @@ func (s *Server) servePeer(conn net.Conn, sc *wire.Scanner, payload []byte) erro
 				continue
 			}
 			s.shard.enqueueDigest(d)
+		case wire.TypePriceDigestDelta:
+			if err := wire.DecodePriceDigestDelta(payload, &dd); err != nil {
+				return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+			}
+			if dd.Shard != hello.Shard {
+				s.stPeerRej.Add(1)
+				continue
+			}
+			s.shard.enqueueDigestDelta(dd)
+		case wire.TypePriceSnapshotDelta:
+			if err := wire.DecodePriceSnapshotDelta(payload, &sd); err != nil {
+				return fmt.Errorf("server: peer shard %d: %w", hello.Shard, err)
+			}
+			if sd.Shard != hello.Shard || sd.Epoch < hello.Epoch {
+				// Wrong sender or a pre-session generation: drop the content
+				// but still ack — the peer blocks on delivery, not
+				// acceptance.
+				s.stPeerRej.Add(1)
+			} else {
+				s.shard.enqueueSnapshotDelta(sd)
+			}
+			ack = wire.AppendExchangeAck(ack[:0], sd.Seq)
+			if _, err := conn.Write(ack); err != nil {
+				return fmt.Errorf("server: peer shard %d: ack: %w", hello.Shard, err)
+			}
 		case wire.TypePriceSnapshot:
 			sn, err := wire.DecodePriceSnapshot(payload)
 			if err != nil {
@@ -745,6 +942,49 @@ func (st *shardState) enqueueDigest(d wire.PriceDigest) {
 		m.vals[i] = e.Load
 		m.hdiag[i] = e.Hdiag
 	}
+	st.inMu.Lock()
+	st.pending = append(st.pending, m)
+	st.inMu.Unlock()
+}
+
+// enqueueDigestDelta copies a decoded delta digest (the decode scratch is
+// reused frame to frame) into the pending queue.
+func (st *shardState) enqueueDigestDelta(d wire.PriceDigestDelta) {
+	m := exchangeMsg{
+		from:  d.Shard,
+		seq:   d.Seq,
+		delta: true,
+		reset: d.Reset,
+		links: make([]int32, len(d.Links)),
+		vals:  make([]float64, len(d.Links)),
+		hdiag: make([]float64, len(d.Links)),
+	}
+	for i, l := range d.Links {
+		m.links[i] = int32(l)
+	}
+	copy(m.vals, d.Loads)
+	copy(m.hdiag, d.Hdiag)
+	st.inMu.Lock()
+	st.pending = append(st.pending, m)
+	st.inMu.Unlock()
+}
+
+// enqueueSnapshotDelta copies a decoded delta snapshot into the pending
+// queue.
+func (st *shardState) enqueueSnapshotDelta(sn wire.PriceSnapshotDelta) {
+	m := exchangeMsg{
+		from:     sn.Shard,
+		seq:      sn.Seq,
+		snapshot: true,
+		delta:    true,
+		reset:    sn.Reset,
+		links:    make([]int32, len(sn.Links)),
+		vals:     make([]float64, len(sn.Links)),
+	}
+	for i, l := range sn.Links {
+		m.links[i] = int32(l)
+	}
+	copy(m.vals, sn.Prices)
 	st.inMu.Lock()
 	st.pending = append(st.pending, m)
 	st.inMu.Unlock()
@@ -830,11 +1070,21 @@ func (s *Server) foldExchangeLocked() {
 			}
 			if len(st.pinLinks) > 0 {
 				st.ex.PinPrices(st.pinLinks, st.pinVals)
-				st.retainSnapshot(m.from, m.seq, st.pinLinks, st.pinVals)
+			}
+			if len(st.pinLinks) > 0 || m.reset {
+				st.retainSnapshot(m.from, m.seq, st.pinLinks, st.pinVals, m.reset, m.delta)
 			}
 			continue
 		}
 		loads, hdiag := st.peerContrib(m.from)
+		if m.reset {
+			// A reset digest re-baselines this sender: its previous
+			// contributions are discarded before the (possibly sparse)
+			// entries are applied, so all-zero links may be omitted.
+			for i := range loads {
+				loads[i], hdiag[i] = 0, 0
+			}
+		}
 		for i, l := range m.links {
 			pos := int32(-1)
 			if l >= 0 && int(l) < st.numLinks {
@@ -872,17 +1122,25 @@ func (s *Server) foldExchangeLocked() {
 	}
 }
 
-// retainSnapshot keeps a copy of a peer daemon's accepted prices for
-// adoption seeding: chunks of one sequence accumulate, a newer sequence
-// replaces. Called with the server mutex held.
-func (st *shardState) retainSnapshot(from uint32, seq uint64, links []topology.LinkID, prices []float64) {
+// retainSnapshot keeps a merged copy of a peer daemon's accepted prices for
+// adoption seeding. Fixed (v3) snapshots are complete per sequence: chunks
+// of one sequence accumulate, a newer sequence replaces. Delta (v4)
+// snapshots list only changed links, so they merge across sequences and
+// re-baseline on reset — either way the record always holds the peer's full
+// last-known price set. Called with the server mutex held.
+func (st *shardState) retainSnapshot(from uint32, seq uint64, links []topology.LinkID, prices []float64, reset, delta bool) {
 	rec := st.lastSnap[from]
-	if rec == nil || rec.seq != seq {
-		rec = &snapRecord{seq: seq}
+	if rec == nil {
+		rec = &snapRecord{prices: make(map[topology.LinkID]float64, len(links))}
 		st.lastSnap[from] = rec
 	}
-	rec.links = append(rec.links, links...)
-	rec.prices = append(rec.prices, prices...)
+	if reset || (!delta && rec.seq != seq) {
+		clear(rec.prices)
+	}
+	rec.seq = seq
+	for i, l := range links {
+		rec.prices[l] = prices[i]
+	}
 }
 
 // applyTakeoverLocked re-points ownership after daemon `by` adopted dead
@@ -905,6 +1163,9 @@ func (s *Server) applyTakeoverLocked(dead, by int) {
 	delete(st.peerLoad, uint32(dead))
 	delete(st.peerHdiag, uint32(dead))
 	clear(st.remoteLinks)
+	// The adopter's digest target set just grew; push it (and everyone
+	// else) a full bundle next iteration rather than a delta.
+	st.markResyncPeers()
 	s.logf("shard takeover: daemon %d adopted daemon %d's rack block", by, dead)
 }
 
@@ -945,6 +1206,7 @@ func (s *Server) processDeathsLocked() {
 		delete(st.peerLoad, uint32(dead))
 		delete(st.peerHdiag, uint32(dead))
 		clear(st.remoteLinks)
+		st.markResyncPeers()
 		if st.successorOf(dead) != st.index {
 			continue
 		}
@@ -981,11 +1243,23 @@ func (s *Server) adoptLocked(dead int) {
 			adopted++
 		}
 	}
-	if rec := st.lastSnap[uint32(dead)]; rec != nil {
-		st.ex.SeedPrices(rec.links, rec.prices)
-		st.ex.UnpinPrices(rec.links)
-		delete(st.lastSnap, uint32(dead))
+	if rec := st.lastSnap[uint32(dead)]; rec != nil && len(rec.prices) > 0 {
+		// Deterministic seeding order: the record is a merged map, so sort
+		// by link. Per-link assignment makes the order cosmetic, but sorted
+		// output keeps logs and tests stable.
+		links := make([]topology.LinkID, 0, len(rec.prices))
+		for l := range rec.prices {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+		prices := make([]float64, len(links))
+		for i, l := range links {
+			prices[i] = rec.prices[l]
+		}
+		st.ex.SeedPrices(links, prices)
+		st.ex.UnpinPrices(links)
 	}
+	delete(st.lastSnap, uint32(dead))
 	for x := range st.servedBy {
 		if st.servedBy[x] == int32(dead) {
 			st.servedBy[x] = int32(st.index)
@@ -1011,10 +1285,16 @@ func (st *shardState) numServedLocked() int {
 
 // rebuildBoundaryLocked recomputes the boundary arrays after the served
 // shard set changed: the boundary becomes the concatenation, in shard
-// order, of every served shard's downward links, and the dense peer
-// contribution arrays are reset (their layout changed; peers re-fill them
-// with their next digests).
+// order, of every served shard's downward links. The dense per-peer
+// contribution arrays are remapped by LinkID onto the new layout — links
+// present in both keep their imported values, which keeps peers' delta
+// digests (whose omitted entries mean "unchanged") correct across the
+// rebuild. The engine-visible external loads are zeroed exactly as before:
+// the next fold re-sums them from the remapped arrays, and in step-driven
+// runs every live peer's bundle arrives before that fold, so the remapped
+// values are fully refreshed before they are ever summed.
 func (st *shardState) rebuildBoundaryLocked() {
+	old := st.boundary
 	var b []topology.LinkID
 	for x := 0; x < st.smap.NumShards(); x++ {
 		if st.servedBy[x] == int32(st.index) {
@@ -1028,13 +1308,28 @@ func (st *shardState) rebuildBoundaryLocked() {
 	for i, l := range st.boundary {
 		st.posOf[l] = int32(i)
 	}
+	for from, oldLoads := range st.peerLoad {
+		oldHdiag := st.peerHdiag[from]
+		newLoads := make([]float64, len(b))
+		newHdiag := make([]float64, len(b))
+		for i, l := range old {
+			if i >= len(oldLoads) {
+				break
+			}
+			if pos := st.posOf[l]; pos >= 0 {
+				newLoads[pos] = oldLoads[i]
+				newHdiag[pos] = oldHdiag[i]
+			}
+		}
+		st.peerLoad[from] = newLoads
+		st.peerHdiag[from] = newHdiag
+	}
 	st.extLoad = make([]float64, len(b))
 	st.extHdiag = make([]float64, len(b))
 	st.snapPrices = make([]float64, len(b))
-	clear(st.peerLoad)
-	clear(st.peerHdiag)
 	clear(st.remoteLinks)
 	st.ex.SetExternalLoads(st.boundary, st.extLoad, st.extHdiag)
+	st.markResyncPeers()
 }
 
 // ServesShard reports whether this daemon currently serves the given shard:

@@ -10,6 +10,10 @@ import (
 // semantics.
 type engine interface {
 	FlowletStart(id core.FlowID, src, dst int, weight float64) error
+	// FlowletStartSized is FlowletStart carrying the endpoint's wire v4
+	// flowlet-size hint in bytes (0 = unknown), recorded in the flow
+	// metadata and ignored by the solvers.
+	FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error
 	FlowletEnd(id core.FlowID) error
 	// Iterate runs one allocation and returns the rate updates whose
 	// change exceeded the notification threshold. The returned slice is
@@ -51,6 +55,9 @@ func newCoreEngine(cfg Config) (*coreEngine, error) {
 
 func (e *coreEngine) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
 	return e.alloc.FlowletStart(id, src, dst, weight)
+}
+func (e *coreEngine) FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error {
+	return e.alloc.FlowletStartSized(id, src, dst, weight, size)
 }
 func (e *coreEngine) FlowletEnd(id core.FlowID) error { return e.alloc.FlowletEnd(id) }
 func (e *coreEngine) Iterate() []core.RateUpdate      { return e.alloc.Iterate() }
@@ -118,6 +125,10 @@ func newParallelEngine(cfg Config) (*parallelEngine, error) {
 
 func (e *parallelEngine) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
 	return e.pa.FlowletStart(id, src, dst, weight)
+}
+
+func (e *parallelEngine) FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error {
+	return e.pa.FlowletStartSized(id, src, dst, weight, size)
 }
 
 func (e *parallelEngine) FlowletEnd(id core.FlowID) error { return e.pa.FlowletEnd(id) }

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -91,6 +94,14 @@ type Config struct {
 	// synchronous exchange push, which keeps them deterministic. 0 disables
 	// staleness detection.
 	HeartbeatTimeout time.Duration
+
+	// QuantizeRates switches protocol-v4 rate fan-out to the paper's Mbps
+	// granularity (uvarint Mbps per entry instead of bit-exact
+	// xor-compressed float64s). Endpoints then receive rates rounded to
+	// 1 Mbps, so it is opt-in (flowtuned -wire-quantize): the default
+	// lossless mode keeps allocation math and committed baselines
+	// byte-identical. v3 sessions are unaffected either way.
+	QuantizeRates bool
 }
 
 // Stats is a snapshot of daemon counters.
@@ -141,6 +152,19 @@ type Stats struct {
 	// paper's control-loop freshness budget, observable per daemon.
 	ExchangeFolds          int64
 	ExchangeStalenessIters int64
+	// FanoutBytes counts rate-update bytes actually written to clients
+	// (RateBatch or RateDelta frames); FanoutBytesFixed counts the bytes
+	// the same updates would have cost as fixed v3 RateBatch frames, so
+	// FanoutBytesFixed/FanoutBytes is the fan-out compression ratio.
+	FanoutBytes      int64
+	FanoutBytesFixed int64
+	// ExchangeBytes counts PriceDigest/PriceSnapshot (or their v4 delta
+	// forms) bytes built into peer exchange bundles; ExchangeBytesFixed
+	// counts the fixed v3 cost of the same boundary state. Both are
+	// accumulated at bundle-build time, so step-driven runs count them
+	// deterministically.
+	ExchangeBytes      int64
+	ExchangeBytesFixed int64
 }
 
 // flowMeta is the registration a flow without an owning session was created
@@ -156,7 +180,9 @@ type event struct {
 	flow     core.FlowID
 	src, dst int
 	weight   float64
-	sess     *session
+	// size is the wire v4 flowlet-size hint in bytes (0 = unknown).
+	size int64
+	sess *session
 	// cleanup marks an orphan-retirement event generated when sess
 	// disconnected. It only applies while sess still owns the flow: if a
 	// reconnected client re-registered the flow under a new session before
@@ -212,6 +238,11 @@ type Server struct {
 	stDrainRej  atomic.Int64
 	stExchFolds atomic.Int64
 	stExchStale atomic.Int64
+
+	stFanoutBytes atomic.Int64
+	stFanoutFixed atomic.Int64
+	stExchBytes   atomic.Int64
+	stExchFixed   atomic.Int64
 
 	// epoch is the allocator generation announced in handshakes; BumpEpoch
 	// advances it mid-run and notifies connected clients.
@@ -325,6 +356,13 @@ func (s *Server) BumpEpoch(epoch uint64) error {
 		// sharing it is safe).
 		go func() {
 			defer s.wg.Done()
+			// The epoch bump resets the client's view (it re-registers its
+			// flowlets), so the delta fan-out must re-baseline: drop the
+			// last-sent shadow before the notify so every later rate is
+			// sent in full.
+			sess.pmu.Lock()
+			clear(sess.lastSent)
+			sess.pmu.Unlock()
 			if err := sess.write(frame); err != nil {
 				s.removeSession(sess)
 			}
@@ -372,6 +410,11 @@ func (s *Server) Stats() Stats {
 
 		ExchangeFolds:          s.stExchFolds.Load(),
 		ExchangeStalenessIters: s.stExchStale.Load(),
+
+		FanoutBytes:        s.stFanoutBytes.Load(),
+		FanoutBytesFixed:   s.stFanoutFixed.Load(),
+		ExchangeBytes:      s.stExchBytes.Load(),
+		ExchangeBytesFixed: s.stExchFixed.Load(),
 	}
 }
 
@@ -528,6 +571,23 @@ type session struct {
 	kick       chan struct{}
 	done       chan struct{}
 
+	// lastSent (guarded by pmu, v4 sessions only) shadows the last rate
+	// value sent per flow — the xor bit pattern, or the quantized Mbps in
+	// QuantizeRates mode — so the writer skips flows whose rate has not
+	// changed since the session's last batch. It is per-session state: a
+	// reconnect starts a fresh session (and shadow), BumpEpoch clears it,
+	// and a flowlet end deletes its entry so a reused flow ID is never
+	// suppressed against a retired flow's rate.
+	lastSent map[int64]uint64
+
+	// fanBuf and fanEntries are the writer's reused encode buffer and entry
+	// scratch; replyEntries is the step-reply path's (the two paths run on
+	// different goroutines). Reusing them pins steady-state fan-out at
+	// 0 allocs/op (see BenchmarkFanoutFlush).
+	fanBuf       []byte
+	fanEntries   []wire.RateEntry
+	replyEntries []wire.RateEntry
+
 	// flows are the flowlets this session registered (owned). Guarded by
 	// srv.mu.
 	flows map[core.FlowID]struct{}
@@ -588,14 +648,15 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	}
 
 	sess := &session{
-		srv:     s,
-		conn:    conn,
-		id:      hello.ClientID,
-		version: hello.Version,
-		pending: make(map[int64]float64),
-		kick:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		flows:   make(map[core.FlowID]struct{}),
+		srv:      s,
+		conn:     conn,
+		id:       hello.ClientID,
+		version:  hello.Version,
+		pending:  make(map[int64]float64),
+		lastSent: make(map[int64]uint64),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		flows:    make(map[core.FlowID]struct{}),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -677,11 +738,15 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			if err != nil {
 				return fmt.Errorf("server: session %d: %w", sess.id, err)
 			}
+			if m.Size != 0 && sess.version < 4 {
+				return fmt.Errorf("server: session %d: sized flowlet-add on a v%d session", sess.id, sess.version)
+			}
 			s.enqueue(event{
 				flow:   core.FlowID(m.Flow),
 				src:    int(m.Src),
 				dst:    int(m.Dst),
 				weight: m.Weight,
+				size:   m.Size,
 				sess:   sess,
 			})
 		case wire.TypeFlowletEnd:
@@ -776,57 +841,119 @@ func (sess *session) queueUpdate(flow int64, rate float64, seq uint64) {
 	}
 }
 
-// writer drains the pending map into RateBatch frames. One goroutine per
+// writer drains the pending map into rate frames. One goroutine per
 // session, so a slow client never blocks the allocator loop or its peers.
-// The drain and the write happen under one wmu hold: once a step reply (also
-// serialized by wmu) has purged a superseded rate from the pending map, no
-// stale copy of it can reach the wire afterwards.
 func (sess *session) writer() {
-	var buf []byte
-	var entries []wire.RateEntry
 	for {
 		select {
 		case <-sess.done:
 			return
 		case <-sess.kick:
 		}
-		sess.wmu.Lock()
-		sess.pmu.Lock()
-		if len(sess.pending) == 0 {
-			sess.pmu.Unlock()
-			sess.wmu.Unlock()
-			continue
-		}
-		entries = entries[:0]
-		for flow, rate := range sess.pending {
-			entries = append(entries, wire.RateEntry{Flow: flow, Rate: rate})
-			delete(sess.pending, flow)
-		}
-		seq := sess.pendingSeq
-		sess.pmu.Unlock()
-		// Deterministic wire order regardless of map iteration, chunked
-		// to the per-frame entry limit.
-		sort.Slice(entries, func(i, j int) bool { return entries[i].Flow < entries[j].Flow })
-		writeErr := false
-		for start := 0; start < len(entries); start += maxBatchEntries {
-			end := start + maxBatchEntries
-			if end > len(entries) {
-				end = len(entries)
-			}
-			buf = wire.AppendRateBatch(buf[:0], seq, entries[start:end])
-			if _, err := sess.conn.Write(buf); err != nil {
-				writeErr = true
-				break
-			}
-			sess.srv.stBatches.Add(1)
-			sess.srv.stUpdates.Add(int64(end - start))
-		}
-		sess.wmu.Unlock()
-		if writeErr {
+		if !sess.flushPending() {
 			sess.srv.removeSession(sess)
 			return
 		}
 	}
+}
+
+// shadowBits is the value the last-sent shadow compares: the rate's float64
+// bit pattern, or its quantized Mbps when the daemon quantizes v4 fan-out.
+func (sess *session) shadowBits(rate float64) uint64 {
+	if sess.srv.cfg.QuantizeRates {
+		return wire.QuantizeRate(rate)
+	}
+	return math.Float64bits(rate)
+}
+
+// flushPending drains the pending map into one burst of RateBatch (v3) or
+// RateDelta (v4) frames, reporting false on a write error. The drain and the
+// write happen under one wmu hold: once a step reply (also serialized by
+// wmu) has purged a superseded rate from the pending map, no stale copy of
+// it can reach the wire afterwards. Buffers and entry scratch live on the
+// session, so the steady state allocates nothing.
+func (sess *session) flushPending() bool {
+	sess.wmu.Lock()
+	sess.pmu.Lock()
+	if len(sess.pending) == 0 {
+		sess.pmu.Unlock()
+		sess.wmu.Unlock()
+		return true
+	}
+	delta := sess.version >= 4
+	drained := 0
+	entries := sess.fanEntries[:0]
+	for flow, rate := range sess.pending {
+		delete(sess.pending, flow)
+		drained++
+		if delta {
+			// Skip flows whose rate is unchanged since this session's last
+			// sent value. The engine's own notification threshold already
+			// suppresses unchanged rates at the source, so this almost
+			// never fires in lossless mode — but quantization collapses
+			// nearby rates, and the shadow is what makes that cheap.
+			bits := sess.shadowBits(rate)
+			if prev, seen := sess.lastSent[flow]; seen && prev == bits {
+				continue
+			}
+			sess.lastSent[flow] = bits
+		}
+		entries = append(entries, wire.RateEntry{Flow: flow, Rate: rate})
+	}
+	seq := sess.pendingSeq
+	sess.pmu.Unlock()
+	sess.fanEntries = entries
+	sess.srv.stFanoutFixed.Add(fixedRateBytes(drained))
+	if len(entries) == 0 {
+		sess.wmu.Unlock()
+		return true
+	}
+	// Deterministic wire order regardless of map iteration (and small flow
+	// deltas for the v4 encoding), chunked to the per-frame entry limit.
+	slices.SortFunc(entries, func(a, b wire.RateEntry) int {
+		return cmp.Compare(a.Flow, b.Flow)
+	})
+	maxChunk := maxBatchEntries
+	if delta {
+		maxChunk = maxRateDeltaEntries
+	}
+	buf := sess.fanBuf
+	writeErr := false
+	var sent int64
+	for start := 0; start < len(entries); start += maxChunk {
+		end := min(start+maxChunk, len(entries))
+		if delta {
+			buf = wire.AppendRateDelta(buf[:0], seq, sess.srv.cfg.QuantizeRates, entries[start:end])
+		} else {
+			buf = wire.AppendRateBatch(buf[:0], seq, entries[start:end])
+		}
+		sent += int64(len(buf))
+		if _, err := sess.conn.Write(buf); err != nil {
+			writeErr = true
+			break
+		}
+		sess.srv.stBatches.Add(1)
+		sess.srv.stUpdates.Add(int64(end - start))
+	}
+	sess.fanBuf = buf
+	sess.wmu.Unlock()
+	sess.srv.stFanoutBytes.Add(sent)
+	return !writeErr
+}
+
+// fixedRateBytes is the wire cost of n rate updates as fixed v3 RateBatch
+// frames with v3 chunking — the baseline of the FanoutBytesFixed counter.
+func fixedRateBytes(n int) int64 {
+	if n == 0 {
+		return int64(wire.RateBatchSize(0))
+	}
+	var b int64
+	for n > 0 {
+		c := min(n, maxBatchEntries)
+		b += int64(wire.RateBatchSize(c))
+		n -= c
+	}
+	return b
 }
 
 // ---------------------------------------------------------------------------
@@ -878,7 +1005,33 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 		// (the client folds them in like asynchronous fan-out); only the
 		// final chunk carries the step-reply barrier.
 		reply = stepper.wbuf[:0]
-		if replyCount == 0 {
+		if stepper.version >= 4 {
+			// v4 step replies use the delta encoding in engine update
+			// order: zigzag flow deltas cost one extra bit for unsorted
+			// IDs, never correctness, and preserving order keeps decoded
+			// update sequences identical to the v3 wire.
+			entries := stepper.replyEntries[:0]
+			for _, u := range updates {
+				if s.owners[u.Flow] == stepper {
+					entries = append(entries, wire.RateEntry{Flow: int64(u.Flow), Rate: u.Rate})
+				}
+			}
+			stepper.replyEntries = entries
+			if len(entries) == 0 {
+				reply = wire.AppendRateDelta(reply, stepSeq|wire.StepReplyFlag, s.cfg.QuantizeRates, nil)
+				replyBatches = 1
+			} else {
+				for start := 0; start < len(entries); start += maxRateDeltaEntries {
+					end := min(start+maxRateDeltaEntries, len(entries))
+					hdrSeq := seq
+					if end == len(entries) {
+						hdrSeq = stepSeq | wire.StepReplyFlag
+					}
+					reply = wire.AppendRateDelta(reply, hdrSeq, s.cfg.QuantizeRates, entries[start:end])
+					replyBatches++
+				}
+			}
+		} else if replyCount == 0 {
 			reply = wire.AppendRateBatchHeader(reply, stepSeq|wire.StepReplyFlag, 0)
 			replyBatches = 1
 		} else {
@@ -907,11 +1060,19 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 		stepper.wbuf = reply
 		// These rates supersede anything still queued for asynchronous
 		// delivery (from interleaved ticker iterations): purge them so the
-		// writer cannot emit a stale rate after the reply.
+		// writer cannot emit a stale rate after the reply. On v4 sessions
+		// also record the last-sent shadow, so a later asynchronous flush
+		// can suppress a resend of the identical rate. Step replies
+		// themselves never consult the shadow — every update the engine
+		// surfaces reaches the stepping client, keeping step-driven runs
+		// (and the committed baselines) byte-identical across versions.
 		stepper.pmu.Lock()
 		for _, u := range updates {
 			if s.owners[u.Flow] == stepper {
 				delete(stepper.pending, int64(u.Flow))
+				if stepper.version >= 4 {
+					stepper.lastSent[int64(u.Flow)] = stepper.shadowBits(u.Rate)
+				}
 			}
 		}
 		stepper.pmu.Unlock()
@@ -937,11 +1098,16 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 	}
 
 	if stepper != nil {
+		// Count before writing: the write returning is what unblocks the
+		// stepping client, so a client sampling Stats right after Step must
+		// already see this reply (benchmark counters stay deterministic).
+		s.stBatches.Add(int64(replyBatches))
+		s.stUpdates.Add(int64(replyCount))
+		s.stFanoutBytes.Add(int64(len(reply)))
+		s.stFanoutFixed.Add(fixedRateBytes(replyCount))
 		if err := stepper.write(reply); err != nil {
 			return fmt.Errorf("server: session %d: step reply: %w", stepper.id, err)
 		}
-		s.stBatches.Add(int64(replyBatches))
-		s.stUpdates.Add(int64(replyCount))
 	}
 	return nil
 }
@@ -949,6 +1115,11 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 // maxBatchEntries bounds entries per RateBatch frame (a variable so tests
 // can exercise chunking without a million flows).
 var maxBatchEntries = wire.MaxBatchEntries
+
+// maxRateDeltaEntries bounds entries per RateDelta frame, sized for the
+// worst-case (incompressible) entry so a full chunk can never overflow the
+// uint24 payload. A variable for the same testing reason as above.
+var maxRateDeltaEntries = wire.MaxRateDeltaEntries
 
 // drainInboxLocked folds pending flowlet events into the engine, in arrival
 // order, with duplicate/unknown defense. Called with s.mu held.
@@ -975,6 +1146,13 @@ func (s *Server) drainInboxLocked() {
 			delete(s.unowned, ev.flow)
 			if owner != nil {
 				delete(owner.flows, ev.flow)
+				// Drop any undelivered rate and the delta shadow: a later
+				// flowlet reusing this ID must get its first rate on the
+				// wire even if it happens to equal the retired flow's last.
+				owner.pmu.Lock()
+				delete(owner.pending, int64(ev.flow))
+				delete(owner.lastSent, int64(ev.flow))
+				owner.pmu.Unlock()
 			}
 			continue
 		}
@@ -1038,7 +1216,7 @@ func (s *Server) drainInboxLocked() {
 			s.logf("flowlet %d add rejected: server %d is not owned by shard %d/%d", ev.flow, ev.src, s.cfg.ShardIndex, s.cfg.NumShards)
 			continue
 		}
-		if err := s.eng.FlowletStart(ev.flow, ev.src, ev.dst, ev.weight); err != nil {
+		if err := s.eng.FlowletStartSized(ev.flow, ev.src, ev.dst, ev.weight, ev.size); err != nil {
 			s.stRejected.Add(1)
 			s.logf("flowlet %d add rejected: %v", ev.flow, err)
 			continue

@@ -449,13 +449,15 @@ func waitFor(t *testing.T, cond func() bool) {
 // cliConn extracts the client's connection for raw-frame tests.
 func cliConn(c *transport.AllocClient) net.Conn { return c.Conn() }
 
-// TestBatchChunking shrinks the per-frame entry limit and checks both the
+// TestBatchChunking shrinks the per-frame entry limits and checks both the
 // step-reply path and the asynchronous writer split oversized update sets
-// into multiple valid RateBatch frames that clients reassemble.
+// into multiple valid rate frames that clients reassemble. Sessions here
+// negotiate v4, so the RateDelta limit is the one that chunks; the v3 limit
+// is shrunk too so the fixed-bytes accounting stays consistent.
 func TestBatchChunking(t *testing.T) {
-	old := maxBatchEntries
-	maxBatchEntries = 3
-	defer func() { maxBatchEntries = old }()
+	old, oldDelta := maxBatchEntries, maxRateDeltaEntries
+	maxBatchEntries, maxRateDeltaEntries = 3, 3
+	defer func() { maxBatchEntries, maxRateDeltaEntries = old, oldDelta }()
 
 	topo := testTopology(t)
 	srv, err := New(Config{Topology: topo})

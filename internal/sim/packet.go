@@ -98,6 +98,10 @@ type ControlInfo struct {
 	Src, Dst int
 	// Rate is the allocated rate in bits/s, set on rate updates.
 	Rate float64
+	// Size is the flowlet's size hint in bytes (0 = unknown), set on
+	// flowlet-start messages. Carried into the allocator's flow metadata
+	// (wire v4 FlowletAdd hint); the solvers ignore it.
+	Size int64
 }
 
 // IsLast reports whether the packet has traversed its entire path.

@@ -36,11 +36,30 @@ type AllocatorBackend interface {
 	Step() ([]core.RateUpdate, error)
 }
 
+// sizedStarter is implemented by backends that accept the wire v4
+// flowlet-size hint (bytes, 0 = unknown) alongside a registration. The hint
+// rides into the engine's flow metadata and is ignored by the solvers.
+type sizedStarter interface {
+	FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error
+}
+
+// startFlowlet registers a flowlet with b, passing the size hint through
+// when the backend can carry it.
+func startFlowlet(b AllocatorBackend, id core.FlowID, src, dst int, weight float64, size int64) error {
+	if s, ok := b.(sizedStarter); ok && size > 0 {
+		return s.FlowletStartSized(id, src, dst, weight, size)
+	}
+	return b.FlowletStart(id, src, dst, weight)
+}
+
 // inprocBackend adapts core.Allocator to AllocatorBackend.
 type inprocBackend struct{ alloc *core.Allocator }
 
 func (b inprocBackend) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
 	return b.alloc.FlowletStart(id, src, dst, weight)
+}
+func (b inprocBackend) FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error {
+	return b.alloc.FlowletStartSized(id, src, dst, weight, size)
 }
 func (b inprocBackend) FlowletEnd(id core.FlowID) error  { return b.alloc.FlowletEnd(id) }
 func (b inprocBackend) Step() ([]core.RateUpdate, error) { return b.alloc.Iterate(), nil }
@@ -83,12 +102,14 @@ type AllocClient struct {
 	// re-register the live flowlet set with a fresh daemon session.
 	regs    map[core.FlowID]flowReg
 	updates []core.RateUpdate // reused across Step calls
+	delta   wire.RateDelta    // scratch for v4 RateDelta decoding
 }
 
 // flowReg is the client-side record of one registered flowlet.
 type flowReg struct {
 	src, dst int32
 	weight   float64
+	size     int64 // flowlet-size hint in bytes (0 = unknown)
 }
 
 // DialAlloc connects to a flowtuned daemon over TCP and performs the
@@ -186,6 +207,7 @@ func (c *AllocClient) Reconnect(conn net.Conn) error {
 			Src:    r.src,
 			Dst:    r.dst,
 			Weight: r.weight,
+			Size:   r.size,
 		})
 	}
 	return nil
@@ -226,6 +248,7 @@ func (c *AllocClient) ResumeReconnect(conn net.Conn) error {
 			Src:    r.src,
 			Dst:    r.dst,
 			Weight: r.weight,
+			Size:   r.size,
 		})
 	}
 	return nil
@@ -247,6 +270,7 @@ type FlowRegistration struct {
 	ID       core.FlowID
 	Src, Dst int
 	Weight   float64
+	Size     int64 // flowlet-size hint in bytes (0 = unknown)
 }
 
 // Registrations returns the live flowlet registrations, sorted by flow ID —
@@ -254,7 +278,7 @@ type FlowRegistration struct {
 func (c *AllocClient) Registrations() []FlowRegistration {
 	out := make([]FlowRegistration, 0, len(c.regs))
 	for id, r := range c.regs {
-		out = append(out, FlowRegistration{ID: id, Src: int(r.src), Dst: int(r.dst), Weight: r.weight})
+		out = append(out, FlowRegistration{ID: id, Src: int(r.src), Dst: int(r.dst), Weight: r.weight, Size: r.size})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -274,15 +298,23 @@ func (c *AllocClient) NumFlows() int { return len(c.regs) }
 // already-registered flow is a no-op, mirroring the engine's defensive
 // duplicate handling.
 func (c *AllocClient) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	return c.FlowletStartSized(id, src, dst, weight, 0)
+}
+
+// FlowletStartSized is FlowletStart carrying the flowlet's expected size in
+// bytes (0 = unknown) as a wire v4 hint. The daemon records it in the flow
+// metadata; the solvers ignore it.
+func (c *AllocClient) FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error {
 	if _, dup := c.regs[id]; dup {
 		return nil
 	}
-	c.regs[id] = flowReg{src: int32(src), dst: int32(dst), weight: weight}
+	c.regs[id] = flowReg{src: int32(src), dst: int32(dst), weight: weight, size: size}
 	c.wbuf = wire.AppendFlowletAdd(c.wbuf, wire.FlowletAdd{
 		Flow:   int64(id),
 		Src:    int32(src),
 		Dst:    int32(dst),
 		Weight: weight,
+		Size:   size,
 	})
 	return nil
 }
@@ -365,12 +397,11 @@ func (c *AllocClient) step() ([]core.RateUpdate, error) {
 	c.updates = c.updates[:0]
 	want := c.seq | wire.StepReplyFlag
 	for {
-		batch, err := c.readBatch()
+		seq, err := c.readBatch()
 		if err != nil {
 			return nil, err
 		}
-		c.appendBatch(batch)
-		if batch.Seq == want {
+		if seq == want {
 			return c.updates, nil
 		}
 	}
@@ -386,57 +417,73 @@ func (c *AllocClient) Recv(timeout time.Duration) ([]core.RateUpdate, uint64, er
 		}
 		defer c.conn.SetReadDeadline(time.Time{})
 	}
-	batch, err := c.readBatch()
+	c.updates = c.updates[:0]
+	seq, err := c.readBatch()
 	if err != nil {
 		return nil, 0, err
 	}
-	c.updates = c.updates[:0]
-	c.appendBatch(batch)
-	return c.updates, batch.Seq &^ wire.StepReplyFlag, nil
+	return c.updates, seq &^ wire.StepReplyFlag, nil
 }
 
-// readBatch reads the next RateBatch frame. An EpochNotify push interrupts
-// the read with ErrEpochChanged after recording the new epoch; anything else
-// the daemon never sends after the handshake.
-func (c *AllocClient) readBatch() (wire.RateBatch, error) {
+// readBatch reads the next rate frame — a fixed RateBatch or a v4 RateDelta
+// (quantized or lossless; the delta decoder expands either back to absolute
+// rates) — appends its decoded updates to c.updates, and returns the frame's
+// sequence word. An EpochNotify push interrupts the read with ErrEpochChanged
+// after recording the new epoch; anything else the daemon never sends after
+// the handshake.
+func (c *AllocClient) readBatch() (uint64, error) {
 	typ, payload, err := c.sc.Next()
 	if err != nil {
-		return wire.RateBatch{}, fmt.Errorf("transport: allocator read: %w", err)
+		return 0, fmt.Errorf("transport: allocator read: %w", err)
 	}
 	switch typ {
 	case wire.TypeRateBatch:
-		return wire.DecodeRateBatch(payload)
+		b, err := wire.DecodeRateBatch(payload)
+		if err != nil {
+			return 0, fmt.Errorf("transport: %w", err)
+		}
+		for i := 0; i < b.Len(); i++ {
+			e := b.Entry(i)
+			c.appendUpdate(e.Flow, e.Rate)
+		}
+		return b.Seq, nil
+	case wire.TypeRateDelta:
+		if err := wire.DecodeRateDelta(payload, &c.delta); err != nil {
+			return 0, fmt.Errorf("transport: %w", err)
+		}
+		for _, e := range c.delta.Entries {
+			c.appendUpdate(e.Flow, e.Rate)
+		}
+		return c.delta.Seq, nil
 	case wire.TypeEpochNotify:
 		m, err := wire.DecodeEpochNotify(payload)
 		if err != nil {
-			return wire.RateBatch{}, fmt.Errorf("transport: %w", err)
+			return 0, fmt.Errorf("transport: %w", err)
 		}
 		if m.Epoch&wire.EpochDrainFlag != 0 {
 			c.epoch = m.Epoch &^ wire.EpochDrainFlag
-			return wire.RateBatch{}, ErrDaemonDraining
+			return 0, ErrDaemonDraining
 		}
 		c.epoch = m.Epoch
-		return wire.RateBatch{}, ErrEpochChanged
+		return 0, ErrEpochChanged
 	default:
-		return wire.RateBatch{}, fmt.Errorf("transport: unexpected %s frame from daemon", typ)
+		return 0, fmt.Errorf("transport: unexpected %s frame from daemon", typ)
 	}
 }
 
-// appendBatch decodes a batch into c.updates, filling Src from the client's
-// registration table. Updates for flows already ended locally are dropped.
-func (c *AllocClient) appendBatch(b wire.RateBatch) {
-	for i := 0; i < b.Len(); i++ {
-		e := b.Entry(i)
-		reg, ok := c.regs[core.FlowID(e.Flow)]
-		if !ok {
-			continue
-		}
-		c.updates = append(c.updates, core.RateUpdate{
-			Flow: core.FlowID(e.Flow),
-			Src:  int(reg.src),
-			Rate: e.Rate,
-		})
+// appendUpdate folds one decoded rate update into c.updates, filling Src
+// from the client's registration table. Updates for flows already ended
+// locally are dropped.
+func (c *AllocClient) appendUpdate(flow int64, rate float64) {
+	reg, ok := c.regs[core.FlowID(flow)]
+	if !ok {
+		return
 	}
+	c.updates = append(c.updates, core.RateUpdate{
+		Flow: core.FlowID(flow),
+		Src:  int(reg.src),
+		Rate: rate,
+	})
 }
 
 // Conn exposes the underlying connection (tests use it to inject raw

@@ -467,6 +467,7 @@ func (e *Engine) notifyFlowletStart(c *conn) {
 		Flow: c.id,
 		Src:  c.src,
 		Dst:  c.dst,
+		Size: c.size,
 	}, core.FlowletStartBytes)
 }
 
@@ -505,7 +506,7 @@ func (e *Engine) allocatorReceive(p *sim.Packet) {
 	case sim.CtrlFlowletStart:
 		// Ignore duplicate registrations defensively.
 		if !e.registered[id] {
-			if err := e.backend.FlowletStart(id, p.Ctrl.Src, p.Ctrl.Dst, 1); err == nil {
+			if err := startFlowlet(e.backend, id, p.Ctrl.Src, p.Ctrl.Dst, 1, p.Ctrl.Size); err == nil {
 				e.registered[id] = true
 			}
 		}

@@ -108,6 +108,12 @@ func (c *ShardedClient) NumFlows() int { return len(c.shardOf) }
 // FlowletStart buffers a flowlet-start notification on the owning shard's
 // session. Duplicate registrations are no-ops, mirroring AllocClient.
 func (c *ShardedClient) FlowletStart(id core.FlowID, src, dst int, weight float64) error {
+	return c.FlowletStartSized(id, src, dst, weight, 0)
+}
+
+// FlowletStartSized is FlowletStart carrying the wire v4 flowlet-size hint
+// (bytes, 0 = unknown) to the owning shard's daemon.
+func (c *ShardedClient) FlowletStartSized(id core.FlowID, src, dst int, weight float64, size int64) error {
 	if _, dup := c.shardOf[id]; dup {
 		return nil
 	}
@@ -115,7 +121,7 @@ func (c *ShardedClient) FlowletStart(id core.FlowID, src, dst int, weight float6
 		return fmt.Errorf("transport: flowlet %d: source server %d out of range", id, src)
 	}
 	daemon := c.daemonOf[c.smap.ShardOfFlow(src, dst)]
-	if err := c.clients[daemon].FlowletStart(id, src, dst, weight); err != nil {
+	if err := c.clients[daemon].FlowletStartSized(id, src, dst, weight, size); err != nil {
 		return &ShardError{Shard: daemon, Err: err}
 	}
 	c.shardOf[id] = daemon
@@ -243,7 +249,7 @@ func (c *ShardedClient) Failover(dead, adopter int) error {
 		c.clients[adopter].EndOrphan(id)
 	}
 	for _, r := range c.clients[dead].Registrations() {
-		if err := c.clients[adopter].FlowletStart(r.ID, r.Src, r.Dst, r.Weight); err != nil {
+		if err := c.clients[adopter].FlowletStartSized(r.ID, r.Src, r.Dst, r.Weight, r.Size); err != nil {
 			return &ShardError{Shard: adopter, Err: err}
 		}
 		c.shardOf[r.ID] = adopter

@@ -37,6 +37,18 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(appendHeader(nil, TypeRateBatch, batchHdrLen+3))
 	f.Add(appendHeader(nil, TypePriceDigest, digestHdrLen+7))
 
+	// v4 delta frames: sized adds, empty deltas, quantized mode, reset
+	// (ack-gap resync) frames, and max-varint flow/link jumps.
+	f.Add(AppendFlowletAdd(nil, FlowletAdd{Flow: 7, Src: 1, Dst: 2, Weight: 1.5, Size: 1 << 20}))
+	f.Add(AppendRateDelta(nil, 9|StepReplyFlag, false, []RateEntry{{Flow: 7, Rate: 5e9}, {Flow: 8, Rate: 5e9}, {Flow: 3, Rate: 2.5e9}}))
+	f.Add(AppendRateDelta(nil, 4, false, nil))
+	f.Add(AppendRateDelta(nil, 5, true, []RateEntry{{Flow: math.MaxInt64, Rate: 1e9}, {Flow: math.MinInt64, Rate: 0.2e6}}))
+	f.Add(AppendPriceDigestDelta(nil, 3, 1, true, []uint32{4, 9, math.MaxUint32}, []float64{5e9, 0, 1}, []float64{-1e-3, 0, math.Inf(-1)}))
+	f.Add(AppendPriceDigestDelta(nil, 4, 1, false, nil, nil, nil))
+	f.Add(AppendPriceSnapshotDelta(nil, 1, 3, 0, true, []uint32{4, 5}, []float64{1.5, 1.5}))
+	f.Add(AppendPriceSnapshotDelta(nil, 2, 7, 0, false, nil, nil))
+	f.Add(appendHeader(nil, TypeRateDelta, rateDeltaHdrMax+5))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		buf := data
 		for {
@@ -142,6 +154,24 @@ func FuzzFrameRoundTrip(f *testing.F) {
 					break
 				}
 				reenc = AppendTakeover(nil, m)
+			case TypeRateDelta:
+				var d RateDelta
+				if err := DecodeRateDelta(payload, &d); err != nil {
+					break
+				}
+				reenc = AppendRateDelta(nil, d.Seq, d.Quantized, d.Entries)
+			case TypePriceDigestDelta:
+				var d PriceDigestDelta
+				if err := DecodePriceDigestDelta(payload, &d); err != nil {
+					break
+				}
+				reenc = AppendPriceDigestDelta(nil, d.Seq, d.Shard, d.Reset, d.Links, d.Loads, d.Hdiag)
+			case TypePriceSnapshotDelta:
+				var d PriceSnapshotDelta
+				if err := DecodePriceSnapshotDelta(payload, &d); err != nil {
+					break
+				}
+				reenc = AppendPriceSnapshotDelta(nil, d.Epoch, d.Seq, d.Shard, d.Reset, d.Links, d.Prices)
 			}
 			if reenc != nil {
 				orig := buf[:HeaderBytes+len(payload)]
@@ -189,7 +219,7 @@ func FuzzScanner(f *testing.F) {
 // rateEntryLenConsistency pins the wire-format constants: changing a layout
 // without bumping Version must fail loudly.
 func TestWireLayoutConstants(t *testing.T) {
-	if Version != 3 {
+	if Version != 4 {
 		t.Fatalf("Version = %d; update layout pins when revving the protocol", Version)
 	}
 	pins := []struct {
@@ -216,6 +246,10 @@ func TestWireLayoutConstants(t *testing.T) {
 		{"flowStateEntryLen", flowStateEntryLen, 24},
 		{"heartbeatLen", heartbeatLen, 12},
 		{"takeoverLen", takeoverLen, 24},
+		{"addSizedLen", addSizedLen, 32},
+		{"rateDeltaHdrMax", rateDeltaHdrMax, 11},
+		{"digestDeltaHdrMax", digestDeltaHdrMax, 16},
+		{"snapDeltaHdrMax", snapDeltaHdrMax, 26},
 	}
 	for _, p := range pins {
 		if p.got != p.want {

@@ -20,7 +20,14 @@ import (
 // EpochDrainFlag bit on EpochNotify (a draining daemon's final warm-failover
 // push). Version-2 clients are still accepted and never see the new frames
 // or the drain flag.
-const Version = 3
+//
+// Version 4 adds the delta-encoded frames (RateDelta, PriceDigestDelta,
+// PriceSnapshotDelta — see delta.go) that make wire cost scale with change
+// instead of flow/link count, and the optional FlowletSize hint on
+// FlowletAdd (a 32-byte payload carrying the flowlet's expected size in
+// bytes). Version-3 endpoints are still accepted: they keep receiving fixed
+// RateBatch/PriceDigest/PriceSnapshot frames and 24-byte FlowletAdds.
+const Version = 4
 
 // Frame layout: a 4-byte header (message type in byte 0, little-endian uint24
 // payload length in bytes 1-3) followed by the payload. All integer fields
@@ -94,6 +101,21 @@ const (
 	// their digests for the orphaned rack block at the adopter and accept
 	// its price snapshots for the adopted links.
 	TypeTakeover
+
+	// Frame types added in protocol version 4 (see delta.go).
+
+	// TypeRateDelta carries rate updates with varint-delta flow IDs and
+	// xor-compressed (or optionally Mbps-quantized) rates (server → client).
+	// Semantically equivalent to a RateBatch over the same entries.
+	TypeRateDelta
+	// TypePriceDigestDelta is a PriceDigest delta-encoded against the
+	// previous acked bundle on the same peer connection: only links whose
+	// load or Hessian diagonal changed are listed (peer → peer).
+	TypePriceDigestDelta
+	// TypePriceSnapshotDelta is a PriceSnapshot delta-encoded against the
+	// previous acked bundle on the same peer connection: only links whose
+	// price changed are listed (peer → peer).
+	TypePriceSnapshotDelta
 )
 
 // EpochDrainFlag marks an EpochNotify pushed by a draining daemon: its
@@ -134,6 +156,12 @@ func (t MsgType) String() string {
 		return "heartbeat"
 	case TypeTakeover:
 		return "takeover"
+	case TypeRateDelta:
+		return "rate-delta"
+	case TypePriceDigestDelta:
+		return "price-digest-delta"
+	case TypePriceSnapshotDelta:
+		return "price-snapshot-delta"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -161,6 +189,16 @@ const (
 	flowStateEntryLen = 24 // flow i64 + src i32 + dst i32 + weight f64
 	heartbeatLen      = 12 // seq u64 + shard u32
 	takeoverLen       = 24 // epoch u64 + seq u64 + dead u32 + by u32
+
+	addSizedLen = 32 // flow i64 + src i32 + dst i32 + weight f64 + size i64
+
+	// The delta frames (delta.go) lead with a flags byte followed by uvarint
+	// header words (seq/shard/epoch are tiny in practice, so the headers
+	// shrink to a handful of bytes); these are the worst-case header sizes,
+	// used only by the chunking bounds.
+	rateDeltaHdrMax   = 11 // flags u8 + seq uvarint (<=10)
+	digestDeltaHdrMax = 16 // flags u8 + seq uvarint (<=10) + shard uvarint (<=5)
+	snapDeltaHdrMax   = 26 // flags u8 + epoch uvarint (<=10) + seq uvarint (<=10) + shard uvarint (<=5)
 )
 
 // Hello opens a session. ClientID is an opaque label the daemon echoes in
@@ -180,11 +218,16 @@ type Welcome struct {
 	IntervalNanos uint64
 }
 
-// FlowletAdd registers a flowlet from server Src to server Dst.
+// FlowletAdd registers a flowlet from server Src to server Dst. Size is an
+// optional hint of the flowlet's expected size in bytes (0 = unknown); a
+// nonzero Size is carried in the 32-byte v4 payload form, which only
+// version-4 sessions may send. Solvers ignore the hint today; it is recorded
+// in the engine's flow metadata for size-aware utilities.
 type FlowletAdd struct {
 	Flow     int64
 	Src, Dst int32
 	Weight   float64
+	Size     int64
 }
 
 // FlowletEnd retires a flowlet.
@@ -293,13 +336,23 @@ func AppendWelcome(buf []byte, m Welcome) []byte {
 	return binary.LittleEndian.AppendUint64(buf, m.IntervalNanos)
 }
 
-// AppendFlowletAdd appends an encoded FlowletAdd frame.
+// AppendFlowletAdd appends an encoded FlowletAdd frame: the 24-byte v1
+// payload when Size is zero, the 32-byte sized v4 form otherwise. Callers
+// must clear Size on sessions that negotiated a version below 4.
 func AppendFlowletAdd(buf []byte, m FlowletAdd) []byte {
-	buf = appendHeader(buf, TypeFlowletAdd, addLen)
+	n := addLen
+	if m.Size != 0 {
+		n = addSizedLen
+	}
+	buf = appendHeader(buf, TypeFlowletAdd, n)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Flow))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Src))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dst))
-	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Weight))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Weight))
+	if m.Size != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Size))
+	}
+	return buf
 }
 
 // AppendFlowletEnd appends an encoded FlowletEnd frame.
@@ -481,17 +534,27 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 	}, nil
 }
 
-// DecodeFlowletAdd decodes a FlowletAdd payload.
+// DecodeFlowletAdd decodes a FlowletAdd payload, accepting both the 24-byte
+// v1 form and the 32-byte sized v4 form. The sized form must carry a
+// positive size: zero means "no hint" and is only ever sent as the short
+// form, so both forms re-encode canonically.
 func DecodeFlowletAdd(p []byte) (FlowletAdd, error) {
-	if len(p) != addLen {
-		return FlowletAdd{}, payloadErr(TypeFlowletAdd, addLen, len(p))
+	if len(p) != addLen && len(p) != addSizedLen {
+		return FlowletAdd{}, fmt.Errorf("wire: %s payload must be %d or %d bytes, got %d", TypeFlowletAdd, addLen, addSizedLen, len(p))
 	}
-	return FlowletAdd{
+	m := FlowletAdd{
 		Flow:   int64(binary.LittleEndian.Uint64(p)),
 		Src:    int32(binary.LittleEndian.Uint32(p[8:])),
 		Dst:    int32(binary.LittleEndian.Uint32(p[12:])),
 		Weight: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
-	}, nil
+	}
+	if len(p) == addSizedLen {
+		m.Size = int64(binary.LittleEndian.Uint64(p[24:]))
+		if m.Size <= 0 {
+			return FlowletAdd{}, fmt.Errorf("wire: sized flowlet-add must carry a positive size, got %d", m.Size)
+		}
+	}
+	return m, nil
 }
 
 // DecodeFlowletEnd decodes a FlowletEnd payload.
@@ -730,7 +793,7 @@ func DecodeExchangeAck(p []byte) (uint64, error) {
 var ErrShortFrame = fmt.Errorf("wire: short frame")
 
 // maxMsgType is the highest frame type of this protocol version.
-const maxMsgType = TypeTakeover
+const maxMsgType = TypePriceSnapshotDelta
 
 // ParseFrame splits one frame off the front of buf. It returns the frame
 // type, its payload (aliasing buf), and the remaining bytes. A buffer ending
