@@ -20,6 +20,11 @@
 // and adopt a dead daemon's rack block. Per-session hardening is configured
 // with -max-session-flows, -max-frame-rate and -idle-timeout.
 //
+// -admin serves the observability endpoint (internal/telemetry): Prometheus
+// text-format metrics on /metrics, liveness and drain-aware readiness probes
+// on /healthz and /readyz, the convergence flight recorder as JSON on
+// /trace, and net/http/pprof under /debug/pprof/.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the daemon stops admitting new
 // flowlets, finishes the in-flight exchange fan-out, pushes a final
 // drain-flagged epoch notification so clients freeze at their last rates,
@@ -45,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
@@ -81,6 +87,7 @@ func run(args []string, out io.Writer) error {
 	maxSessionFlows := fs.Int("max-session-flows", 0, "max live flowlets per session (0 = unlimited)")
 	maxFrameRate := fs.Float64("max-frame-rate", 0, "max frames/s per session before disconnect (0 = unlimited)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "disconnect sessions idle this long (0 = never)")
+	admin := fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /readyz, /trace and /debug/pprof/ (port 0 picks a free port; empty = disabled)")
 	epoch := fs.Uint64("epoch", 1, "allocator epoch announced to clients")
 	statsEvery := fs.Duration("stats-every", 10*time.Second, "loop-stats logging period (0 disables)")
 	serveFor := fs.Duration("serve-for", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
@@ -133,6 +140,33 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer srv.Close()
+
+	if *admin != "" {
+		// The admin endpoint: Prometheus /metrics, drain-aware probes
+		// (/readyz flips to 503 the moment a drain starts; /healthz stays
+		// 200 until shutdown completes), the convergence flight recorder on
+		// /trace, and pprof. Registered before any traffic so the loop
+		// series cover the daemon's whole life.
+		reg := telemetry.NewRegistry()
+		srv.RegisterMetrics(reg)
+		rec := telemetry.NewFlightRecorder(0)
+		srv.AttachFlightRecorder(rec)
+		adm, err := telemetry.NewAdmin(telemetry.AdminConfig{
+			Registry: reg,
+			Recorder: rec,
+			Healthy:  func() bool { return !srv.Closed() },
+			Ready:    func() bool { return !srv.Closed() && !srv.Draining() },
+		})
+		if err != nil {
+			return err
+		}
+		adminAddr, err := adm.Start(*admin)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "flowtuned: admin endpoint on http://%s (/metrics /healthz /readyz /trace /debug/pprof/)\n", adminAddr)
+	}
 
 	if *snapshot != "" {
 		snap, err := os.ReadFile(*snapshot)

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -11,6 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
 	"repro/internal/transport"
 )
 
@@ -215,6 +221,140 @@ func TestDaemonFlagErrors(t *testing.T) {
 		"-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err != nil {
 		t.Errorf("sharded multicore daemon rejected: %v", err)
 	}
+}
+
+var adminRE = regexp.MustCompile(`admin endpoint on http://(\S+)`)
+
+// adminGet fetches one admin-endpoint path and returns status code and body.
+func adminGet(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDaemonAdminFlagValidation: a malformed -admin address must fail the
+// daemon at startup, before it begins serving allocator traffic.
+func TestDaemonAdminFlagValidation(t *testing.T) {
+	for _, bad := range []string{"not-an-address", "127.0.0.1:notaport", "127.0.0.1:99999"} {
+		var out syncBuffer
+		if err := run([]string{"-admin", bad, "-serve-for", "1ms", "-listen", "127.0.0.1:0"}, &out); err == nil {
+			t.Errorf("-admin %q accepted", bad)
+		}
+	}
+}
+
+// TestDaemonAdminEndpoint boots the daemon with -admin, scrapes the live
+// endpoint, and checks the exposition lints clean and the probes and trace
+// respond.
+func TestDaemonAdminEndpoint(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+			"-racks", "4", "-servers-per-rack", "4", "-spines", "2",
+			"-interval", "200us", "-serve-for", "2s", "-stats-every", "0",
+		}, &out)
+	}()
+	var base string
+	for deadline := time.Now().Add(5 * time.Second); base == ""; time.Sleep(time.Millisecond) {
+		if m := adminRE.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its admin address; output: %q", out.String())
+		}
+	}
+
+	status, body := adminGet(t, base, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	if err := telemetry.Lint(body); err != nil {
+		t.Fatalf("lint: %v\n%s", err, body)
+	}
+	for _, series := range []string{"flowtune_iterations_total", "flowtune_flows", "flowtune_draining 0"} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		if status, body := adminGet(t, base, probe); status != http.StatusOK || body != "ok\n" {
+			t.Errorf("%s = %d %q; want 200 ok", probe, status, body)
+		}
+	}
+	status, body = adminGet(t, base, "/trace")
+	if status != http.StatusOK {
+		t.Fatalf("/trace status = %d", status)
+	}
+	var trace telemetry.FlightTrace
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v; output: %q", err, out.String())
+	}
+}
+
+// TestAdminProbesFollowDrain pins the probe semantics the deployment docs
+// promise, using the exact closures run() wires up: Drain flips /readyz to
+// 503 immediately (stop routing new work here) while /healthz stays 200
+// (don't kill the process — it is still fanning out final rates); only when
+// Shutdown completes does /healthz go unhealthy too.
+func TestAdminProbesFollowDrain(t *testing.T) {
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks: 4, ServersPerRack: 4, Spines: 2, LinkCapacity: 10e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	srv.RegisterMetrics(reg)
+	adm, err := telemetry.NewAdmin(telemetry.AdminConfig{
+		Registry: reg,
+		Healthy:  func() bool { return !srv.Closed() },
+		Ready:    func() bool { return !srv.Closed() && !srv.Draining() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := adm.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	base := "http://" + addr.String()
+
+	expect := func(stage, probe string, want int) {
+		t.Helper()
+		if status, _ := adminGet(t, base, probe); status != want {
+			t.Errorf("%s: %s = %d; want %d", stage, probe, status, want)
+		}
+	}
+	expect("running", "/healthz", http.StatusOK)
+	expect("running", "/readyz", http.StatusOK)
+
+	srv.Drain()
+	expect("draining", "/healthz", http.StatusOK)
+	expect("draining", "/readyz", http.StatusServiceUnavailable)
+
+	if _, err := srv.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	expect("shut down", "/healthz", http.StatusServiceUnavailable)
+	expect("shut down", "/readyz", http.StatusServiceUnavailable)
 }
 
 // startShardDaemon boots one cluster member on a free port and returns its

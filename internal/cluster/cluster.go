@@ -58,6 +58,9 @@ type Config struct {
 type Cluster struct {
 	smap    *topology.ShardMap
 	servers []*server.Server
+	// admin holds the observability endpoints started via ServeAdmin /
+	// ServeShardAdmins (see telemetry.go).
+	admin adminState
 }
 
 // New builds the daemons and connects the full peer mesh. Every daemon dials
@@ -204,8 +207,9 @@ func (c *Cluster) WireStats() WireStats {
 	return w
 }
 
-// Close shuts every daemon down.
+// Close shuts every daemon down, along with any admin endpoints.
 func (c *Cluster) Close() error {
+	c.closeAdmins()
 	var first error
 	for _, srv := range c.servers {
 		if err := srv.Close(); err != nil && first == nil {

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScenarioTelemetry opts a daemon-backed scenario into convergence
+// telemetry and checks the condensed block: samples present, a finite
+// converged objective, and a final price residual no larger than the run's
+// peak.
+func TestScenarioTelemetry(t *testing.T) {
+	cfg, err := NamedScenario("daemon-incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = true
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Telemetry
+	if ts == nil {
+		t.Fatal("Telemetry run produced no telemetry block")
+	}
+	if ts.Samples == 0 || ts.TotalSamples < uint64(ts.Samples) {
+		t.Fatalf("sample accounting: %+v", ts)
+	}
+	if ts.FinalObjective == 0 {
+		t.Fatalf("converged run should report a non-zero objective: %+v", ts)
+	}
+	if ts.MaxPriceResidual <= 0 || ts.FinalPriceResidual > ts.MaxPriceResidual {
+		t.Fatalf("residuals: %+v", ts)
+	}
+	if ts.ChurnEvents == 0 {
+		t.Fatalf("trace-driven run folded no churn: %+v", ts)
+	}
+	if !strings.Contains(res.Render(), "telemetry:") {
+		t.Error("Render() does not mention the telemetry block")
+	}
+}
+
+// TestScenarioTelemetryDeterministic: the telemetry block contains only
+// deterministic convergence signals, so two identical runs must serialize
+// byte-identically, telemetry included.
+func TestScenarioTelemetryDeterministic(t *testing.T) {
+	cfg, err := NamedScenario("daemon-incast", true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = true
+	a, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("two identical telemetry runs diverged:\n%s\n%s", aj, bj)
+	}
+	if !strings.Contains(string(aj), `"telemetry"`) {
+		t.Fatal("telemetry block missing from serialized result")
+	}
+}
+
+// TestScenarioTelemetryOffByDefault: without the opt-in the serialized
+// result must not change shape — the committed BENCH_*.json baselines
+// depend on it.
+func TestScenarioTelemetryOffByDefault(t *testing.T) {
+	cfg, err := NamedScenario("daemon-incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry != nil {
+		t.Fatal("telemetry block present without opt-in")
+	}
+	j, _ := json.Marshal(res)
+	if strings.Contains(string(j), "telemetry") {
+		t.Fatalf("serialized result mentions telemetry without opt-in:\n%s", j)
+	}
+}
+
+// TestScenarioTelemetryRequiresDaemon: the flight recorder hangs off the
+// daemon's iterate loop, so in-process scenarios must reject the opt-in.
+func TestScenarioTelemetryRequiresDaemon(t *testing.T) {
+	cfg, err := NamedScenario("incast", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = true
+	if _, err := RunScenario(cfg); err == nil {
+		t.Fatal("Telemetry accepted without Daemon")
+	}
+}

@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// nullBackend is a minimal inner backend for injector unit tests.
+type nullBackend struct{ steps int }
+
+func (n *nullBackend) FlowletStart(id core.FlowID, src, dst int, weight float64) error { return nil }
+func (n *nullBackend) FlowletEnd(id core.FlowID) error                                 { return nil }
+func (n *nullBackend) Step() ([]core.RateUpdate, error)                                { n.steps++; return nil, nil }
+
+// nullCapacity records capacity writes without an allocator behind it.
+type nullCapacity struct{ calls int }
+
+func (c *nullCapacity) SetLinkCapacity(l topology.LinkID, capacity float64) error {
+	c.calls++
+	return nil
+}
+
+// TestInjectorRegisterMetrics scrapes the injector's fault counters through
+// the telemetry registry: the atomic mirrors must track the events the plan
+// applies, and the exposition must lint clean.
+func TestInjectorRegisterMetrics(t *testing.T) {
+	topo, err := topology.NewTwoTier(topology.Config{
+		Racks: 4, ServersPerRack: 4, Spines: 2, LinkCapacity: 10e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &nullCapacity{}
+	inj, err := NewInjector(InjectorConfig{
+		Plan: Plan{Events: []Event{
+			{Step: 1, Kind: LinkDegrade, Rack: 0, Spine: 1, Fraction: 0.5},
+			{Step: 2, Kind: ECMPRehash, Salt: 7},
+		}},
+		Topology: topo,
+		Capacity: cap,
+	}, &nullBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	inj.RegisterMetrics(reg)
+
+	for i := 0; i < 3; i++ {
+		if _, err := inj.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := inj.Finish(0); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := telemetry.Lint(out); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, series := range []string{
+		"flowtune_fault_steps_total 3",
+		"flowtune_fault_events_applied_total 2",
+		"flowtune_fault_capacity_changes_total 1",
+		"flowtune_fault_rehashes_total 1",
+		"flowtune_fault_kills_total 0",
+		"flowtune_fault_drains_total 0",
+		"flowtune_fault_failovers_total 0",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("exposition missing %q:\n%s", series, out)
+		}
+	}
+	if cap.calls != 1 {
+		t.Fatalf("capacity setter called %d times; want 1", cap.calls)
+	}
+}

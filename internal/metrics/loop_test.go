@@ -43,6 +43,44 @@ func TestLoopRecorderWindowBounded(t *testing.T) {
 	}
 }
 
+// TestLoopRecorderWindowWraparound pins the exact window contents after the
+// ring has wrapped more than once: the percentile window must hold the most
+// recent `window` latencies and nothing older.
+func TestLoopRecorderWindowWraparound(t *testing.T) {
+	r := NewLoopRecorder(4)
+	for i := 0; i < 10; i++ { // wraps the 4-slot ring twice
+		r.Record(float64(i), 1)
+	}
+	s := r.Snapshot()
+	if s.Iterations != 10 || s.Updates != 10 {
+		t.Fatalf("lifetime counters = %d/%d; want 10/10", s.Iterations, s.Updates)
+	}
+	// Window must be exactly {6, 7, 8, 9}.
+	want := DistStats{Count: 4, Mean: 7.5, P50: 7.5, P99: 8.97, Max: 9}
+	got := s.LatencySec
+	if got.Count != want.Count || got.Mean != want.Mean || got.P50 != want.P50 || got.Max != want.Max {
+		t.Fatalf("window stats = %+v; want %+v (samples 6..9)", got, want)
+	}
+	if got.P99 < got.P50 || got.P99 > got.Max {
+		t.Fatalf("P99 = %g outside [P50=%g, Max=%g]", got.P99, got.P50, got.Max)
+	}
+}
+
+// TestLoopRecorderEmptySnapshot: a fresh recorder must snapshot to zeros, not
+// NaN (the rate fields divide by iteration and busy-time counters).
+func TestLoopRecorderEmptySnapshot(t *testing.T) {
+	s := NewLoopRecorder(4).Snapshot()
+	if s.Iterations != 0 || s.Updates != 0 {
+		t.Fatalf("fresh counters = %+v", s)
+	}
+	if s.UpdatesPerIteration != 0 || s.IterationsPerSec != 0 {
+		t.Fatalf("fresh rates must be 0, got %+v", s)
+	}
+	if s.LatencySec != (DistStats{}) {
+		t.Fatalf("fresh latency stats = %+v; want zero value", s.LatencySec)
+	}
+}
+
 func TestLoopRecorderConcurrent(t *testing.T) {
 	r := NewLoopRecorder(16)
 	var wg sync.WaitGroup

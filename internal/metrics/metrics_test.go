@@ -69,6 +69,42 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestSummarizeEdgeCases(t *testing.T) {
+	if got := Summarize(nil); got != (DistStats{}) {
+		t.Errorf("Summarize(nil) = %+v; want zero value", got)
+	}
+	// A single sample collapses every statistic onto the sample.
+	got := Summarize([]float64{2.5})
+	want := DistStats{Count: 1, Mean: 2.5, P50: 2.5, P99: 2.5, Max: 2.5}
+	if got != want {
+		t.Errorf("Summarize single = %+v; want %+v", got, want)
+	}
+}
+
+// TestSummarizeMonotonicity: on any sample, P50 <= P99 <= Max and the mean is
+// bounded by the extremes.
+func TestSummarizeMonotonicity(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, int(n%64)+1)
+		for i := range vals {
+			vals[i] = rng.ExpFloat64()
+		}
+		s := Summarize(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		lo, hi := sorted[0], sorted[len(sorted)-1]
+		const eps = 1e-9
+		return s.Count == len(vals) &&
+			s.P50 <= s.P99+eps && s.P99 <= s.Max+eps &&
+			s.Mean >= lo-eps && s.Mean <= hi+eps &&
+			s.Max == hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFlowRecord(t *testing.T) {
 	r := FlowRecord{SizeBytes: 1500, Start: 1, End: 1.001, IdealDuration: 0.0005}
 	if !r.Finished() {

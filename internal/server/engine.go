@@ -19,6 +19,10 @@ type engine interface {
 	// change exceeded the notification threshold. The returned slice is
 	// only valid until the next call.
 	Iterate() []core.RateUpdate
+	// Objective returns the NUM objective Σ U(x) at the rates of the most
+	// recent Iterate (0 with no flows; -Inf while rates are still zero).
+	// Allocation-free in steady state — it sits on the telemetry path.
+	Objective() float64
 	NumFlows() int
 	Rates() map[core.FlowID]float64
 	// SetLinkCapacity changes one link's raw capacity in place; the next
@@ -61,6 +65,7 @@ func (e *coreEngine) FlowletStartSized(id core.FlowID, src, dst int, weight floa
 }
 func (e *coreEngine) FlowletEnd(id core.FlowID) error { return e.alloc.FlowletEnd(id) }
 func (e *coreEngine) Iterate() []core.RateUpdate      { return e.alloc.Iterate() }
+func (e *coreEngine) Objective() float64              { return e.alloc.Objective() }
 func (e *coreEngine) NumFlows() int                   { return e.alloc.NumFlows() }
 func (e *coreEngine) Rates() map[core.FlowID]float64  { return e.alloc.Rates() }
 func (e *coreEngine) Close()                          {}
@@ -144,6 +149,8 @@ func (e *parallelEngine) Iterate() []core.RateUpdate {
 	e.updates = e.pa.AppendUpdates(e.threshold, e.updates[:0])
 	return e.updates
 }
+
+func (e *parallelEngine) Objective() float64 { return e.pa.Objective() }
 
 func (e *parallelEngine) NumFlows() int { return e.pa.NumFlows() }
 

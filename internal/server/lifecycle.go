@@ -43,6 +43,11 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// Closed reports whether the daemon has shut down (Close or Shutdown
+// completed). It backs the admin /healthz liveness probe: a daemon stays
+// healthy through a drain and flips unhealthy only once it is gone.
+func (s *Server) Closed() bool { return s.isClosed() }
+
 // Snapshot serializes the daemon's allocator state: its live flowlet
 // registry (FlowState chunks, canonical engine order) and every link's
 // current price (PriceSnapshot chunks) — both engines export prices through

@@ -244,6 +244,11 @@ type Server struct {
 	stExchBytes   atomic.Int64
 	stExchFixed   atomic.Int64
 
+	// telemetry is the optional observability hook (registry series written
+	// in the loop plus the convergence flight recorder), nil until
+	// RegisterMetrics or AttachFlightRecorder wires it. Guarded by mu.
+	telemetry *serverTelemetry
+
 	// epoch is the allocator generation announced in handshakes; BumpEpoch
 	// advances it mid-run and notifies connected clients.
 	epoch atomic.Uint64
@@ -983,6 +988,7 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 			s.processDeathsLocked()
 		}
 	}
+	churn := len(s.inbox)
 	s.drainInboxLocked()
 
 	start := time.Now()
@@ -991,6 +997,9 @@ func (s *Server) iterate(stepper *session, stepSeq uint64) error {
 	s.seq++
 	seq := s.seq
 	s.loop.Record(latency.Seconds(), len(updates))
+	if s.telemetry != nil {
+		s.recordTelemetryLocked(seq, latency.Seconds(), len(updates), churn)
+	}
 
 	var reply []byte
 	replyCount, replyBatches := 0, 0

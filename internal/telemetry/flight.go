@@ -1,0 +1,109 @@
+package telemetry
+
+import "sync"
+
+// FlightSample is one iteration-boundary record in the convergence flight
+// recorder: enough to diagnose whether a daemon is converging, thrashing on
+// churn, or drowning in exchange staleness — sampled at every allocator
+// iteration, kept in a fixed ring.
+type FlightSample struct {
+	// Iteration is the allocator iteration (server sequence number).
+	Iteration uint64 `json:"iteration"`
+	// Objective is the NUM objective Σ U(x) at this iteration. Recorded as
+	// 0 while non-finite (flows still at zero rate produce -Inf, which JSON
+	// cannot carry).
+	Objective float64 `json:"objective"`
+	// MaxPriceResidual is the largest absolute link-price change since the
+	// previous iteration — the dual-ascent convergence signal.
+	MaxPriceResidual float64 `json:"max_price_residual"`
+	// ExchangeFolds and StalenessIters are this iteration's boundary
+	// exchange activity: peer bundles folded in, and the summed staleness
+	// (in iterations) of those folds.
+	ExchangeFolds  int64 `json:"exchange_folds"`
+	StalenessIters int64 `json:"staleness_iters"`
+	// FanoutBytes and FanoutBytesFixed are the rate fan-out bytes
+	// attributed since the previous sample, actual wire encoding vs the
+	// fixed v3 cost of the same updates.
+	FanoutBytes      int64 `json:"fanout_bytes"`
+	FanoutBytesFixed int64 `json:"fanout_bytes_fixed"`
+	// ChurnEvents is the number of flowlet add/end events folded in at
+	// this iteration's boundary.
+	ChurnEvents int `json:"churn_events"`
+	// Updates is the number of rate updates the iteration emitted.
+	Updates int `json:"updates"`
+	// LatencySec is the iteration's wall-clock solver latency in seconds.
+	LatencySec float64 `json:"latency_sec"`
+}
+
+// DefaultFlightWindow is the default ring size.
+const DefaultFlightWindow = 512
+
+// FlightRecorder keeps the last N FlightSamples in a fixed ring. Record is
+// allocation-free (one mutex, one struct copy), so it can sit on the
+// allocator's iteration path; Snapshot copies the ring out oldest-first for
+// the admin /trace endpoint. Safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightSample
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder creates a recorder holding the last window samples
+// (DefaultFlightWindow when window <= 0).
+func NewFlightRecorder(window int) *FlightRecorder {
+	if window <= 0 {
+		window = DefaultFlightWindow
+	}
+	return &FlightRecorder{ring: make([]FlightSample, 0, window)}
+}
+
+// Record appends one sample, overwriting the oldest once the ring is full.
+func (r *FlightRecorder) Record(s FlightSample) {
+	r.mu.Lock()
+	r.total++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.next] = s
+		r.next = (r.next + 1) % len(r.ring)
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of samples currently held (≤ the window).
+func (r *FlightRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Total returns the number of samples recorded over the recorder's lifetime.
+func (r *FlightRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the held samples oldest-first.
+func (r *FlightRecorder) Snapshot() []FlightSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightSample, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// FlightTrace is the JSON shape the admin /trace endpoint serves.
+type FlightTrace struct {
+	// Total counts samples recorded over the recorder's lifetime; Samples
+	// holds the retained window, oldest first.
+	Total   uint64         `json:"total"`
+	Samples []FlightSample `json:"samples"`
+}
+
+// Trace returns the recorder's current state in the /trace shape.
+func (r *FlightRecorder) Trace() FlightTrace {
+	return FlightTrace{Total: r.Total(), Samples: r.Snapshot()}
+}

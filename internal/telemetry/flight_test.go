@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(FlightSample{Iteration: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d; want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d; want 10", r.Total())
+	}
+	snap := r.Snapshot()
+	want := []uint64{6, 7, 8, 9}
+	for i, s := range snap {
+		if s.Iteration != want[i] {
+			t.Fatalf("Snapshot[%d].Iteration = %d; want %d (oldest-first order)", i, s.Iteration, want[i])
+		}
+	}
+}
+
+func TestFlightRecorderPartial(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Record(FlightSample{Iteration: 1})
+	r.Record(FlightSample{Iteration: 2})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Iteration != 1 || snap[1].Iteration != 2 {
+		t.Fatalf("partial snapshot wrong: %+v", snap)
+	}
+}
+
+func TestFlightTraceJSON(t *testing.T) {
+	r := NewFlightRecorder(2)
+	r.Record(FlightSample{Iteration: 7, Objective: 1.5, ChurnEvents: 3})
+	raw, err := json.Marshal(r.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FlightTrace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total != 1 || len(back.Samples) != 1 || back.Samples[0].Iteration != 7 ||
+		back.Samples[0].Objective != 1.5 || back.Samples[0].ChurnEvents != 3 {
+		t.Fatalf("trace round-trip wrong: %s", raw)
+	}
+}
+
+func TestFlightRecorderZeroAlloc(t *testing.T) {
+	r := NewFlightRecorder(16)
+	// Fill the ring first: append growth is setup cost, not steady state.
+	for i := 0; i < 16; i++ {
+		r.Record(FlightSample{})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(FlightSample{Iteration: 1, LatencySec: 1e-5})
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per op; want 0", allocs)
+	}
+}
+
+func BenchmarkTelemetryRecord(b *testing.B) {
+	reg := NewRegistry()
+	hist := reg.Histogram("flowtune_iteration_latency_seconds", "latency", ExpBuckets(1e-6, 4, 10))
+	churn := reg.Counter("flowtune_churn_events_total", "churn")
+	rec := NewFlightRecorder(DefaultFlightWindow)
+	for i := 0; i < DefaultFlightWindow; i++ {
+		rec.Record(FlightSample{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist.Observe(1.2e-5)
+		churn.Add(2)
+		rec.Record(FlightSample{
+			Iteration:        uint64(i),
+			Objective:        42.5,
+			MaxPriceResidual: 1e-9,
+			ChurnEvents:      2,
+			Updates:          8,
+			LatencySec:       1.2e-5,
+		})
+	}
+}

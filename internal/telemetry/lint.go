@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-format exposition, returning the first
+// violation found. It enforces what an external promtool-style linter would:
+// every series is preceded by HELP and TYPE lines for its family, TYPE is a
+// known metric type, families are contiguous (no interleaving), sample values
+// parse as floats, and no series (name plus label set) appears twice. It is
+// the in-suite replacement for an external format linter, run by the tests
+// against every registry this repo assembles.
+func Lint(exposition string) error {
+	type familyInfo struct {
+		help, typ bool
+		kind      string
+		closed    bool // a different family started after this one
+	}
+	families := make(map[string]*familyInfo)
+	seen := make(map[string]struct{}) // full series lines (name+labels)
+	var current string
+
+	open := func(name string) *familyInfo {
+		f := families[name]
+		if f == nil {
+			f = &familyInfo{}
+			families[name] = f
+		}
+		if current != name {
+			if f.closed {
+				return nil // family re-opened after another family ran
+			}
+			if cur := families[current]; cur != nil {
+				cur.closed = true
+			}
+			current = name
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			name := fields[2]
+			f := open(name)
+			if f == nil {
+				return fmt.Errorf("line %d: family %s re-opened after another family", line, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					return fmt.Errorf("line %d: duplicate HELP for %s", line, name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typ {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+				}
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE for %s missing a type", line, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q for %s", line, fields[3], name)
+				}
+				f.kind = fields[3]
+				f.typ = true
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value
+		name, labels, value, err := splitSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", line, name)
+		}
+		family := name
+		// Histogram component series belong to the base family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name {
+				if f, ok := families[base]; ok && f.kind == "histogram" {
+					family = base
+				}
+				break
+			}
+		}
+		f := open(family)
+		if f == nil {
+			return fmt.Errorf("line %d: family %s re-opened after another family", line, family)
+		}
+		if !f.help || !f.typ {
+			return fmt.Errorf("line %d: series %s not preceded by HELP and TYPE for %s", line, name, family)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: unparsable value %q for %s", line, value, name)
+		}
+		key := name + labels
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s", line, key)
+		}
+		seen[key] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("empty exposition: no series")
+	}
+	return nil
+}
+
+// splitSample splits a sample line into metric name, rendered label block
+// (may be empty) and value text.
+func splitSample(text string) (name, labels, value string, err error) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unterminated label block in %q", text)
+		}
+		labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("malformed sample %q", text)
+		}
+		return fields[0], "", fields[1], nil
+	}
+	if name == "" || rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", "", "", fmt.Errorf("malformed sample %q", text)
+	}
+	return name, labels, rest, nil
+}
